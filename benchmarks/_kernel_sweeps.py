@@ -1,0 +1,62 @@
+"""Shared per-shape sweep harness for the Fig. 22-27 kernel benchmarks."""
+
+from repro.reporting import format_series, geometric_mean
+
+
+def gemm_sweep(arch, shapes, warp_specialized=False):
+    from repro.baselines import cublas_gemm, triton_gemm
+    from repro.kernels import GemmOperator
+
+    op = GemmOperator(arch=arch, warp_specialized=warp_specialized,
+                      max_tile_trials=4, max_candidates=8)
+    series = {"library_us": [], "triton_us": [], "hexcute_us": []}
+    for m, n, k in shapes:
+        series["library_us"].append(cublas_gemm(arch, m, n, k).latency_us)
+        series["triton_us"].append(triton_gemm(arch, m, n, k).latency_us)
+        series["hexcute_us"].append(op.run(m, n, k).latency_us)
+    return series
+
+
+def fp8_gemm_sweep(arch, shapes):
+    from repro.baselines import cutlass_fp8_gemm, triton_fp8_gemm
+    from repro.kernels import Fp8GemmOperator
+
+    op = Fp8GemmOperator(arch=arch, max_tile_trials=4)
+    series = {"library_us": [], "triton_us": [], "hexcute_us": []}
+    for m, n, k in shapes:
+        series["library_us"].append(cutlass_fp8_gemm(arch, m, n, k).latency_us)
+        series["triton_us"].append(triton_fp8_gemm(arch, m, n, k).latency_us)
+        series["hexcute_us"].append(op.run(m, n, k).latency_us)
+    return series
+
+
+def attention_sweep(arch, shapes, mode):
+    from repro.baselines import (
+        flash_attention_decoding,
+        flash_attention_forward,
+        triton_attention_decoding,
+        triton_attention_forward,
+    )
+    from repro.kernels import AttentionOperator
+
+    op = AttentionOperator(arch=arch, mode=mode)
+    series = {"library_us": [], "triton_us": [], "hexcute_us": []}
+    for batch, heads, seq, dim in shapes:
+        if mode == "forward":
+            series["library_us"].append(flash_attention_forward(arch, batch, heads, seq, dim).latency_us)
+            series["triton_us"].append(triton_attention_forward(arch, batch, heads, seq, dim).latency_us)
+        else:
+            series["library_us"].append(flash_attention_decoding(arch, batch, heads, seq, dim).latency_us)
+            series["triton_us"].append(triton_attention_decoding(arch, batch, heads, seq, dim).latency_us)
+        series["hexcute_us"].append(op.run(batch, heads, seq, dim).latency_us)
+    return series
+
+
+def report(title, labels, series, paper_library, paper_triton):
+    print()
+    print(format_series(title, "shape", series, labels))
+    vs_library = geometric_mean([l / h for l, h in zip(series["library_us"], series["hexcute_us"])])
+    vs_triton = geometric_mean([t / h for t, h in zip(series["triton_us"], series["hexcute_us"])])
+    print(f"geomean speedup vs library: {vs_library:.2f}x (paper: {paper_library})")
+    print(f"geomean speedup vs Triton:  {vs_triton:.2f}x (paper: {paper_triton})")
+    return vs_library, vs_triton

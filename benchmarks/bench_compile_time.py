@@ -1,0 +1,25 @@
+"""Section VII-C: compilation time — candidate enumeration stays in the same
+ballpark as Triton's autotuning (the paper: 48.4 s for 102 candidates vs
+57.1 s; here we check candidates are enumerated and timed, per compile)."""
+
+import time
+
+from repro.compiler import compile_kernel
+from repro.kernels.gemm import GemmConfig, build_fp16_gemm
+
+
+def compile_many():
+    start = time.perf_counter()
+    program = build_fp16_gemm(256, 256, 512, GemmConfig(bm=128, bn=128, bk=32))
+    compiled = compile_kernel(program, arch="h100", max_candidates=102, keep_alternatives=True)
+    elapsed = time.perf_counter() - start
+    return compiled, elapsed
+
+
+def test_compile_time(once):
+    compiled, elapsed = once(compile_many)
+    print()
+    print(f"explored {compiled.candidates_explored} candidates in {elapsed:.2f} s "
+          f"({elapsed / max(compiled.candidates_explored, 1) * 1000:.1f} ms per candidate)")
+    assert compiled.candidates_explored >= 10
+    assert elapsed < 120

@@ -1,0 +1,40 @@
+"""Fig. 11: mixed-type MoE layer latency vs token count on H100 for
+Marlin-old, Triton, Marlin-new and Hexcute."""
+
+from repro.baselines import TritonMoeOperator, marlin_new_moe, marlin_old_moe
+from repro.kernels import MixedTypeMoeOperator
+from repro.reporting import format_series, geometric_mean
+
+TOKENS = [1, 8, 32, 128, 512]
+
+
+def build_series():
+    hexcute_op = MixedTypeMoeOperator(arch="h100", max_candidates=4)
+    triton_op = TritonMoeOperator(arch="h100", max_candidates=4)
+    series = {"marlin_old_ms": [], "triton_ms": [], "marlin_new_ms": [], "hexcute_ms": []}
+    for tokens in TOKENS:
+        series["marlin_old_ms"].append(marlin_old_moe("h100", tokens).latency_ms)
+        series["triton_ms"].append(triton_op.run(tokens).latency_ms)
+        series["marlin_new_ms"].append(marlin_new_moe("h100", tokens).latency_ms)
+        series["hexcute_ms"].append(hexcute_op.run(tokens).latency_ms)
+    return series
+
+
+def test_fig11(once):
+    series = once(build_series)
+    print()
+    print(format_series("Fig. 11: 256-expert MoE latency (ms)", "tokens", series, TOKENS))
+    speedup_triton = geometric_mean(
+        [t / h for t, h in zip(series["triton_ms"], series["hexcute_ms"])]
+    )
+    speedup_old = geometric_mean(
+        [t / h for t, h in zip(series["marlin_old_ms"], series["hexcute_ms"])]
+    )
+    ratio_new = geometric_mean(
+        [n / h for n, h in zip(series["marlin_new_ms"], series["hexcute_ms"])]
+    )
+    print(f"geomean speedup vs Triton: {speedup_triton:.2f}x (paper: 6.46x)")
+    print(f"geomean speedup vs Marlin-old: {speedup_old:.2f}x (paper: 28.42x)")
+    print(f"Marlin-new / Hexcute: {ratio_new:.2f} (paper: ~0.96x of Marlin-new)")
+    assert speedup_triton > 1.5
+    assert speedup_old > 3.0

@@ -1,0 +1,26 @@
+"""Fig. 12: accuracy of the analytical cost model — the selected candidate is
+within ~1.01x of the best candidate across GEMM shapes."""
+
+from repro.compiler import compile_kernel
+from repro.kernels.gemm import GemmConfig, build_fp16_gemm
+from repro.reporting import format_series
+
+SHAPES = [(64, 64, 128), (128, 64, 128), (128, 128, 128), (64, 128, 256)]
+
+
+def build_series():
+    ratios = []
+    for m, n, k in SHAPES:
+        program = build_fp16_gemm(m, n, k, GemmConfig(bm=min(128, m), bn=min(128, n), bk=32))
+        compiled = compile_kernel(program, arch="a100", max_candidates=48, keep_alternatives=True)
+        best = min(c.total_cycles for c in compiled.alternatives)
+        ratios.append(compiled.candidate.total_cycles / best)
+    return ratios
+
+
+def test_fig12(once):
+    ratios = once(build_series)
+    print()
+    print(format_series("Fig. 12: selected / optimal candidate latency", "shape",
+                        {"ratio": ratios}, [f"{m}x{n}x{k}" for m, n, k in SHAPES]))
+    assert max(ratios) <= 1.01

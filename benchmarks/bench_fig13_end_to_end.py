@@ -1,0 +1,35 @@
+"""Fig. 13: end-to-end vLLM decode latency for DeepSeek-R1-AWQ, Jamba-mini
+and Qwen-3-32B with and without the Hexcute kernels."""
+
+from repro.e2e import DEEPSEEK_R1_AWQ, JAMBA_MINI, QWEN3_32B, decode_latency
+from repro.reporting import TableRow, format_table
+
+
+def build_rows():
+    rows = []
+    for config, batch in ((DEEPSEEK_R1_AWQ, 32), (JAMBA_MINI, 32), (QWEN3_32B, 32)):
+        baseline = decode_latency(config, backend="baseline", batch_size=batch, output_tokens=100)
+        hexcute = decode_latency(config, backend="hexcute", batch_size=batch, output_tokens=100)
+        rows.append(
+            TableRow(
+                config.name,
+                {
+                    "baseline (s)": baseline.total_latency_s,
+                    "hexcute (s)": hexcute.total_latency_s,
+                    "speedup": baseline.total_latency_s / hexcute.total_latency_s,
+                },
+            )
+        )
+    return rows
+
+
+def test_fig13(once):
+    rows = once(build_rows)
+    print()
+    print(format_table("Fig. 13: end-to-end decode latency (100 tokens)",
+                       ["baseline (s)", "hexcute (s)", "speedup"], rows))
+    speedups = {row.label: row.values["speedup"] for row in rows}
+    # Paper: up to 2.60x on DeepSeek-R1-AWQ, up to 2.04x on Jamba, 1.13x on Qwen.
+    assert speedups["DeepSeek-R1-AWQ"] > 1.2
+    assert speedups["Jamba-mini-1.7"] > 1.0
+    assert speedups["Qwen-3-32B"] > 0.9

@@ -1,0 +1,26 @@
+"""Fig. 21: selective-scan latency across shapes, Hexcute vs the Mamba library."""
+
+from repro.baselines import mamba_library_scan
+from repro.kernels import SelectiveScanOperator
+from repro.reporting import format_series, geometric_mean
+
+SHAPES = [(1, 2048, 2048), (4, 2048, 2048), (8, 4096, 2048), (16, 2048, 4096), (8, 8192, 1024)]
+
+
+def build_series():
+    op = SelectiveScanOperator(arch="h100", max_candidates=4)
+    series = {"mamba_lib_us": [], "hexcute_us": []}
+    for batch, seq, d_inner in SHAPES:
+        series["mamba_lib_us"].append(mamba_library_scan("h100", batch, seq, d_inner).latency_us)
+        series["hexcute_us"].append(op.run(batch, seq, d_inner).latency_us)
+    return series
+
+
+def test_fig21(once):
+    series = once(build_series)
+    labels = [f"{b}x{s}x{d}" for b, s, d in SHAPES]
+    print()
+    print(format_series("Fig. 21: selective scan latency (us)", "shape", series, labels))
+    speedup = geometric_mean([m / h for m, h in zip(series["mamba_lib_us"], series["hexcute_us"])])
+    print(f"geomean speedup over the Mamba library: {speedup:.2f}x (paper: 4.17x)")
+    assert speedup > 1.5

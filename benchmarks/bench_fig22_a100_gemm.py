@@ -1,0 +1,13 @@
+"""Fig. 22: FP16 GEMM on A100 — Hexcute vs cuBLAS vs Triton per shape."""
+
+from _kernel_sweeps import gemm_sweep, report
+
+SHAPES = [(4096, 4096, 4096), (8192, 4096, 2048), (2048, 2048, 2048), (4096, 11008, 4096)]
+
+
+def test_fig22(once):
+    series = once(lambda: gemm_sweep("a100", SHAPES))
+    labels = [f"{m}x{n}x{k}" for m, n, k in SHAPES]
+    vs_lib, vs_triton = report("Fig. 22: A100 FP16 GEMM (us)", labels, series, "1.00x", "1.33x")
+    assert vs_lib > 0.7
+    assert vs_triton > 1.0

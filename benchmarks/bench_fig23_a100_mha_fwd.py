@@ -1,0 +1,12 @@
+"""Fig. 23: fused MHA forward on A100 — Hexcute vs FlashAttention-2 vs Triton."""
+
+from _kernel_sweeps import attention_sweep, report
+
+SHAPES = [(8, 32, 2048, 128), (4, 32, 4096, 128), (16, 16, 1024, 128)]
+
+
+def test_fig23(once):
+    series = once(lambda: attention_sweep("a100", SHAPES, "forward"))
+    labels = [f"b{b}h{h}s{s}" for b, h, s, _ in SHAPES]
+    vs_lib, vs_triton = report("Fig. 23: A100 MHA forward (us)", labels, series, "1.05x", "1.13x")
+    assert vs_triton > 0.9

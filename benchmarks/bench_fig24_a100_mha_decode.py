@@ -1,0 +1,13 @@
+"""Fig. 24: fused MHA decoding on A100 — Hexcute vs FlashInfer vs Triton."""
+
+from _kernel_sweeps import attention_sweep, report
+
+SHAPES = [(32, 32, 8192, 128), (64, 32, 4096, 128), (16, 32, 16384, 128)]
+
+
+def test_fig24(once):
+    series = once(lambda: attention_sweep("a100", SHAPES, "decoding"))
+    labels = [f"b{b}kv{s}" for b, _, s, _ in SHAPES]
+    vs_lib, vs_triton = report("Fig. 24: A100 MHA decoding (us)", labels, series, "1.02x", "2.06x")
+    assert vs_lib > 0.8
+    assert vs_triton > 0.9

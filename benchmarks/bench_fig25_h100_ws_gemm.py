@@ -1,0 +1,12 @@
+"""Fig. 25: warp-specialized FP16 GEMM on H100 — Hexcute vs cuBLAS vs Triton."""
+
+from _kernel_sweeps import gemm_sweep, report
+
+SHAPES = [(4096, 4096, 4096), (8192, 8192, 4096), (4096, 14336, 4096)]
+
+
+def test_fig25(once):
+    series = once(lambda: gemm_sweep("h100", SHAPES, warp_specialized=True))
+    labels = [f"{m}x{n}x{k}" for m, n, k in SHAPES]
+    vs_lib, vs_triton = report("Fig. 25: H100 warp-specialized GEMM (us)", labels, series, "1.25x", "1.94x")
+    assert vs_triton > 1.2

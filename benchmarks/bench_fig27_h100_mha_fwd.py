@@ -1,0 +1,12 @@
+"""Fig. 27: fused MHA forward on H100 — Hexcute vs FlashAttention-3 vs Triton."""
+
+from _kernel_sweeps import attention_sweep, report
+
+SHAPES = [(8, 32, 2048, 128), (4, 32, 4096, 128)]
+
+
+def test_fig27(once):
+    series = once(lambda: attention_sweep("h100", SHAPES, "forward"))
+    labels = [f"b{b}h{h}s{s}" for b, h, s, _ in SHAPES]
+    vs_lib, vs_triton = report("Fig. 27: H100 MHA forward (us)", labels, series, "1.27x", "2.25x")
+    assert vs_triton > 1.0

@@ -1,0 +1,120 @@
+"""Table II: programmability (LoC) and performance of Hexcute vs CUDA libraries
+and Triton across the six operator families."""
+
+from repro.baselines import (
+    cublas_gemm,
+    cutlass_fp8_gemm,
+    flash_attention_decoding,
+    flash_attention_forward,
+    triton_attention_decoding,
+    triton_attention_forward,
+    triton_fp8_gemm,
+    triton_gemm,
+)
+from repro.kernels import AttentionOperator, Fp8GemmOperator, GemmOperator
+from repro.reporting import TableRow, format_table, geometric_mean
+
+GEMM_SHAPES = [(4096, 4096, 4096), (2048, 2048, 4096), (8192, 4096, 2048)]
+MHA_SHAPES = [(8, 32, 2048, 128), (4, 32, 4096, 128)]
+DECODE_SHAPES = [(32, 32, 8192, 128), (64, 32, 4096, 128)]
+
+
+def _row(label, loc_cuda, loc_triton, loc_hexcute, triton_speedups, hexcute_speedups):
+    return TableRow(
+        label,
+        {
+            "LoC CUDA": loc_cuda,
+            "LoC Triton": loc_triton,
+            "LoC Hexcute": loc_hexcute,
+            "Triton x": geometric_mean(triton_speedups),
+            "Hexcute x": geometric_mean(hexcute_speedups),
+        },
+    )
+
+
+def build_table():
+    rows = []
+
+    # A100 FP16 GEMM
+    op = GemmOperator(arch="a100", max_tile_trials=4, max_candidates=8)
+    tri, hexc, loc = [], [], 0
+    for m, n, k in GEMM_SHAPES:
+        base = cublas_gemm("a100", m, n, k)
+        triton = triton_gemm("a100", m, n, k)
+        ours = op.run(m, n, k)
+        tri.append(base.latency_us / triton.latency_us)
+        hexc.append(base.latency_us / ours.latency_us)
+        loc = ours.lines_of_code
+    rows.append(_row("A100 FP16 GEMM (vs cuBLAS)", 703, 71, loc, tri, hexc))
+
+    # A100 fused MHA forward
+    op = AttentionOperator(arch="a100", mode="forward")
+    tri, hexc, loc = [], [], 0
+    for b, h, s, d in MHA_SHAPES:
+        base = flash_attention_forward("a100", b, h, s, d)
+        triton = triton_attention_forward("a100", b, h, s, d)
+        ours = op.run(b, h, s, d)
+        tri.append(base.latency_us / triton.latency_us)
+        hexc.append(base.latency_us / ours.latency_us)
+        loc = ours.lines_of_code
+    rows.append(_row("A100 MHA fwd (vs FlashAttention2)", 577, 114, loc, tri, hexc))
+
+    # A100 fused MHA decoding
+    op = AttentionOperator(arch="a100", mode="decoding")
+    tri, hexc, loc = [], [], 0
+    for b, h, s, d in DECODE_SHAPES:
+        base = flash_attention_decoding("a100", b, h, s, d)
+        triton = triton_attention_decoding("a100", b, h, s, d)
+        ours = op.run(b, h, s, d)
+        tri.append(base.latency_us / triton.latency_us)
+        hexc.append(base.latency_us / ours.latency_us)
+        loc = ours.lines_of_code
+    rows.append(_row("A100 MHA decode (vs FlashInfer)", 322, 224, loc, tri, hexc))
+
+    # H100 blockwise scaled FP8 GEMM
+    op = Fp8GemmOperator(arch="h100", max_tile_trials=4)
+    tri, hexc, loc = [], [], 0
+    for m, n, k in GEMM_SHAPES[:2]:
+        base = cutlass_fp8_gemm("h100", m, n, k)
+        triton = triton_fp8_gemm("h100", m, n, k)
+        ours = op.run(m, n, k)
+        tri.append(base.latency_us / triton.latency_us)
+        hexc.append(base.latency_us / ours.latency_us)
+        loc = ours.lines_of_code
+    rows.append(_row("H100 FP8 blockwise GEMM (vs CUTLASS)", 900, 87, loc, tri, hexc))
+
+    # H100 warp-specialized FP16 GEMM
+    op = GemmOperator(arch="h100", warp_specialized=True, max_tile_trials=4, max_candidates=8)
+    tri, hexc, loc = [], [], 0
+    for m, n, k in GEMM_SHAPES[:2]:
+        base = cublas_gemm("h100", m, n, k)
+        triton = triton_gemm("h100", m, n, k)
+        ours = op.run(m, n, k)
+        tri.append(base.latency_us / triton.latency_us)
+        hexc.append(base.latency_us / ours.latency_us)
+        loc = ours.lines_of_code
+    rows.append(_row("H100 warp-spec FP16 GEMM (vs cuBLAS)", 1024, 71, loc, tri, hexc))
+
+    # H100 fused MHA forward
+    op = AttentionOperator(arch="h100", mode="forward")
+    tri, hexc, loc = [], [], 0
+    for b, h, s, d in MHA_SHAPES[:1]:
+        base = flash_attention_forward("h100", b, h, s, d)
+        triton = triton_attention_forward("h100", b, h, s, d)
+        ours = op.run(b, h, s, d)
+        tri.append(base.latency_us / triton.latency_us)
+        hexc.append(base.latency_us / ours.latency_us)
+        loc = ours.lines_of_code
+    rows.append(_row("H100 MHA fwd (vs FlashAttention3)", 1684, 114, loc, tri, hexc))
+
+    return rows
+
+
+def test_table2(once):
+    rows = once(build_table)
+    print()
+    print(format_table(
+        "Table II: LoC and normalized performance",
+        ["LoC CUDA", "LoC Triton", "LoC Hexcute", "Triton x", "Hexcute x"],
+        rows,
+    ))

@@ -1,0 +1,38 @@
+"""Table III: bytes per instruction for the mixed-type MoE kernel tensors."""
+
+from repro.baselines import TritonMoeOperator
+from repro.kernels import MixedTypeMoeOperator
+from repro.reporting import TableRow, format_table
+
+
+def collect(kernel):
+    rows = {}
+    for op in kernel.program.copies():
+        instr = kernel.candidate.assignment.get(op.op_id)
+        if instr is None:
+            continue
+        tensor = op.src if op.src.is_global else op.dst if op.dst.is_global else op.src
+        key = f"{tensor.name.split('_')[0]}:{op.direction}"
+        rows[key] = instr.vector_bytes
+    return rows
+
+
+def build_table():
+    hexcute = MixedTypeMoeOperator(arch="h100", max_candidates=8).compile_expert_kernel(16)
+    triton = TritonMoeOperator(arch="h100", max_candidates=8).compile_expert_kernel(16)
+    return collect(hexcute), collect(triton)
+
+
+def test_table3(once):
+    hexcute, triton = once(build_table)
+    labels = sorted(set(hexcute) | set(triton))
+    rows = [
+        TableRow(label, {"Triton (bytes)": triton.get(label, 0), "Hexcute (bytes)": hexcute.get(label, 0)})
+        for label in labels
+    ]
+    print()
+    print(format_table("Table III: MoE bytes per instruction", ["Triton (bytes)", "Hexcute (bytes)"], rows))
+    # Hexcute's weight path must be wider than Triton's (the paper's claim).
+    hex_weight = max(v for k, v in hexcute.items() if k.startswith("b") or "sb" in k)
+    tri_weight = max((v for k, v in triton.items() if k.startswith("b") or "sb" in k), default=1)
+    assert hex_weight >= tri_weight

@@ -1,0 +1,37 @@
+"""Table IV: bytes per instruction for the Mamba selective-scan tensors."""
+
+from repro.kernels import SelectiveScanOperator
+from repro.reporting import TableRow, format_table
+
+
+def build_table():
+    hexcute = SelectiveScanOperator(arch="h100", max_candidates=8).compile_kernel(2048, 1024, 1)
+    library = SelectiveScanOperator(
+        arch="h100", use_shared_stage=False, num_stages=1,
+        instruction_cap_bytes=2, max_candidates=4,
+    ).compile_kernel(2048, 1024, 1)
+
+    def collect(kernel):
+        rows = {}
+        for op in kernel.program.copies():
+            instr = kernel.candidate.assignment.get(op.op_id)
+            if instr is None:
+                continue
+            name = (op.src if op.src.is_global else op.dst).name
+            rows[f"{name}:{op.direction}"] = instr.vector_bytes
+        return rows
+
+    return collect(hexcute), collect(library)
+
+
+def test_table4(once):
+    hexcute, library = once(build_table)
+    labels = sorted(set(hexcute) | set(library))
+    rows = [
+        TableRow(label, {"Mamba lib (bytes)": library.get(label, 0), "Hexcute (bytes)": hexcute.get(label, 0)})
+        for label in labels
+    ]
+    print()
+    print(format_table("Table IV: selective-scan bytes per instruction",
+                       ["Mamba lib (bytes)", "Hexcute (bytes)"], rows))
+    assert max(hexcute.values()) > max(library.values())

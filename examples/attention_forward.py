@@ -1,0 +1,40 @@
+"""Fused multi-head attention example: two chained gemms, online softmax, and
+the consistent-thread-arrangement problem of Fig. 9.
+
+The compiler anchors both gemms on Tensor Core instruction atoms; the
+probability tile produced by the first gemm feeds the second, and the solver
+reconciles the two thread-value layouts by inserting a `rearrange` (or by
+honouring a user annotation).
+
+Run with:  python examples/attention_forward.py
+"""
+
+from repro.baselines import flash_attention_forward, triton_attention_forward
+from repro.compiler import compile_kernel
+from repro.ir.ops import Rearrange
+from repro.kernels import AttentionOperator, build_mha_forward
+
+
+def main():
+    batch, heads, seq, dim = 8, 32, 2048, 128
+    program = build_mha_forward(seq, dim, heads, batch)
+    compiled = compile_kernel(program, arch="a100", max_candidates=8)
+
+    print("=== synthesized register layouts for the attention tiles ===")
+    for tensor in compiled.program.register_tensors():
+        if tensor.tv_layout is not None and tensor.numel() >= 64 * 64:
+            print(f"  {tensor.name:<24s} {tensor.tv_layout.layout}")
+    rearranges = [op for op in compiled.program.operations if isinstance(op, Rearrange)]
+    print(f"\nrearranges inserted to reconcile the two gemms: {len(rearranges)}")
+
+    print("\n=== simulated latency on A100 ===")
+    ours = AttentionOperator(arch="a100", mode="forward").run(batch, heads, seq, dim)
+    fa2 = flash_attention_forward("a100", batch, heads, seq, dim)
+    triton = triton_attention_forward("a100", batch, heads, seq, dim)
+    print(f"  Hexcute:          {ours.latency_us:10.1f} us")
+    print(f"  FlashAttention-2: {fa2.latency_us:10.1f} us ({fa2.latency_us / ours.latency_us:.2f}x of Hexcute)")
+    print(f"  Triton:           {triton.latency_us:10.1f} us ({triton.latency_us / ours.latency_us:.2f}x of Hexcute)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim so `pip install -e .` works on environments without the
+`wheel` package (offline legacy editable install)."""
+from setuptools import setup
+
+setup()

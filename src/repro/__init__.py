@@ -1,0 +1,29 @@
+"""repro — a reproduction of *Hexcute: A Compiler Framework for Automating
+Layout Synthesis in GPU Programs* (CGO 2026).
+
+The package is organised as:
+
+* :mod:`repro.layout` — CuTe-style layout algebra, thread-value layouts,
+  swizzles, and layout constraints with unification.
+* :mod:`repro.ir` — the tile-level IR (tensors, operations, DAG) behind the
+  Hexcute DSL.
+* :mod:`repro.instructions` — collective instructions modelled as TV layouts
+  plus per-architecture microbenchmark latency tables.
+* :mod:`repro.synthesis` — thread-value and shared-memory layout synthesis,
+  instruction selection, and the analytical cost model.
+* :mod:`repro.codegen` — lowering and CUDA-like source emission.
+* :mod:`repro.sim` — the simulated GPU substrate (functional executor and
+  analytical timing model) used in place of real A100/H100 hardware.
+* :mod:`repro.frontend` — the user-facing kernel-builder DSL and autotuner.
+* :mod:`repro.kernels` — the paper's kernels written in the DSL (GEMM,
+  FP8 GEMM, attention, mixed-type MoE, Mamba scan).
+* :mod:`repro.baselines` — Triton-style compiler baseline and library
+  performance models (cuBLAS/CUTLASS/FlashAttention/Marlin/Mamba).
+* :mod:`repro.e2e` — vLLM-style end-to-end latency composition.
+"""
+
+__version__ = "0.1.0"
+
+from repro.layout import Layout, TVLayout, Swizzle, LayoutConstraint
+
+__all__ = ["Layout", "TVLayout", "Swizzle", "LayoutConstraint", "__version__"]

@@ -1,0 +1,5 @@
+"""Lowering and CUDA-like source emission for compiled tile programs."""
+
+from repro.codegen.cuda_emitter import emit_cuda_source
+
+__all__ = ["emit_cuda_source"]

@@ -1,0 +1,19 @@
+"""vLLM-style end-to-end decode latency composition (Fig. 13)."""
+
+from repro.e2e.engine import (
+    ModelConfig,
+    DecodeResult,
+    DEEPSEEK_R1_AWQ,
+    JAMBA_MINI,
+    QWEN3_32B,
+    decode_latency,
+)
+
+__all__ = [
+    "ModelConfig",
+    "DecodeResult",
+    "DEEPSEEK_R1_AWQ",
+    "JAMBA_MINI",
+    "QWEN3_32B",
+    "decode_latency",
+]

@@ -1,0 +1,203 @@
+"""End-to-end decode-latency composition (the Fig. 13 experiment).
+
+The paper integrates its kernels into vLLM and measures the latency of
+generating 100 output tokens for DeepSeek-R1-AWQ (mixed-type MoE dominated),
+Jamba-mini-1.7 (Mamba selective scan dominated) and Qwen-3-32B (dense FP8
+GEMM dominated).  This module reproduces the *composition*: a decode step is
+a sequence of per-layer operator invocations, each timed by the simulated
+operator (Hexcute kernels) or by the corresponding baseline implementation,
+and the end-to-end latency is the per-step latency times the number of
+generated tokens (decode steps are sequentially dependent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.kernels.attention import AttentionOperator
+from repro.kernels.fp8_gemm import Fp8GemmOperator
+from repro.kernels.gemm import GemmOperator
+from repro.kernels.mamba import SelectiveScanOperator
+from repro.kernels.moe import MixedTypeMoeOperator
+from repro.baselines import (
+    cublas_gemm,
+    cutlass_fp8_gemm,
+    flash_attention_decoding,
+    mamba_library_scan,
+    marlin_old_moe,
+    TritonMoeOperator,
+    triton_scan,
+)
+from repro.sim.arch import get_arch
+
+__all__ = ["ModelConfig", "DecodeResult", "DEEPSEEK_R1_AWQ", "JAMBA_MINI", "QWEN3_32B", "decode_latency"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """A coarse architectural description of one evaluated model."""
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    num_heads: int
+    kv_len: int
+    moe_layers: int = 0
+    moe_experts: int = 256
+    moe_top_k: int = 8
+    moe_intermediate: int = 2048
+    mamba_layers: int = 0
+    mamba_d_inner: int = 8192
+    dense_ffn_layers: int = 0
+    ffn_intermediate: int = 25600
+    weight_dtype: str = "fp16"  # "awq-int4", "fp8", or "fp16"
+    tensor_parallel: int = 8
+
+
+DEEPSEEK_R1_AWQ = ModelConfig(
+    name="DeepSeek-R1-AWQ",
+    num_layers=61,
+    hidden_size=7168,
+    num_heads=128,
+    kv_len=4096,
+    moe_layers=58,
+    moe_experts=256,
+    moe_top_k=8,
+    moe_intermediate=2048,
+    weight_dtype="awq-int4",
+    tensor_parallel=8,
+)
+
+JAMBA_MINI = ModelConfig(
+    name="Jamba-mini-1.7",
+    num_layers=32,
+    hidden_size=4096,
+    num_heads=32,
+    kv_len=4096,
+    mamba_layers=28,
+    mamba_d_inner=8192,
+    dense_ffn_layers=32,
+    ffn_intermediate=14336,
+    weight_dtype="fp16",
+    tensor_parallel=2,
+)
+
+QWEN3_32B = ModelConfig(
+    name="Qwen-3-32B",
+    num_layers=64,
+    hidden_size=5120,
+    num_heads=64,
+    kv_len=4096,
+    dense_ffn_layers=64,
+    ffn_intermediate=25600,
+    weight_dtype="fp8",
+    tensor_parallel=4,
+)
+
+
+@dataclass
+class DecodeResult:
+    """End-to-end latency of generating ``output_tokens`` tokens."""
+
+    model: str
+    backend: str
+    batch_size: int
+    output_tokens: int
+    step_latency_ms: float
+    breakdown_ms: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_latency_s(self) -> float:
+        return self.step_latency_ms * self.output_tokens / 1000.0
+
+
+def _attention_step_us(arch, config: ModelConfig, batch: int, backend: str) -> float:
+    heads = max(1, config.num_heads // config.tensor_parallel)
+    if backend == "hexcute":
+        op = AttentionOperator(arch=arch, mode="decoding")
+        return op.run(batch, heads, config.kv_len, 128).latency_us
+    return flash_attention_decoding(arch, batch, heads, config.kv_len, 128).latency_us
+
+
+def _moe_step_us(arch, config: ModelConfig, batch: int, backend: str) -> float:
+    n = config.moe_intermediate
+    k = max(1, config.hidden_size // config.tensor_parallel)
+    if backend == "hexcute":
+        op = MixedTypeMoeOperator(
+            arch=arch, num_experts=config.moe_experts, top_k=config.moe_top_k, n=n, k=k
+        )
+        return op.run(batch).latency_us
+    if backend == "marlin-old":
+        return marlin_old_moe(arch, batch, config.moe_experts, config.moe_top_k, n, k).latency_us
+    op = TritonMoeOperator(
+        arch=arch, num_experts=config.moe_experts, top_k=config.moe_top_k, n=n, k=k
+    )
+    return op.run(batch).latency_us
+
+
+def _mamba_step_us(arch, config: ModelConfig, batch: int, backend: str) -> float:
+    d_inner = max(64, config.mamba_d_inner // config.tensor_parallel)
+    if backend == "hexcute":
+        return SelectiveScanOperator(arch=arch).run(batch, config.kv_len, d_inner).latency_us
+    if backend == "triton":
+        return triton_scan(arch, batch, config.kv_len, d_inner).latency_us
+    return mamba_library_scan(arch, batch, config.kv_len, d_inner).latency_us
+
+
+def _ffn_step_us(arch, config: ModelConfig, batch: int, backend: str) -> float:
+    m = max(batch, 16)
+    n = max(256, config.ffn_intermediate // config.tensor_parallel)
+    k = config.hidden_size
+    if config.weight_dtype == "fp8":
+        if backend == "hexcute":
+            return Fp8GemmOperator(arch=arch, max_tile_trials=2).run(m, n, k).latency_us
+        return cutlass_fp8_gemm(arch, m, n, k).latency_us
+    if backend == "hexcute":
+        return GemmOperator(arch=arch, max_tile_trials=2).run(m, n, k).latency_us
+    return cublas_gemm(arch, m, n, k).latency_us
+
+
+def decode_latency(
+    config: ModelConfig,
+    backend: str = "hexcute",
+    batch_size: int = 32,
+    output_tokens: int = 100,
+    arch="h100",
+) -> DecodeResult:
+    """Latency of a full decode of ``output_tokens`` tokens.
+
+    ``backend`` is ``"hexcute"`` for the Hexcute-integrated engine or
+    ``"baseline"`` for the original vLLM implementation (Triton MoE, the
+    Mamba library scan, CUTLASS FP8 GEMM, FlashInfer attention).
+    """
+    gpu = get_arch(arch)
+    breakdown: Dict[str, float] = {}
+
+    attn_us = _attention_step_us(gpu, config, batch_size, backend)
+    breakdown["attention"] = attn_us * config.num_layers / 1000.0
+
+    step_us = attn_us * config.num_layers
+    if config.moe_layers:
+        moe_backend = backend if backend != "baseline" else "triton"
+        moe_us = _moe_step_us(gpu, config, batch_size, moe_backend)
+        breakdown["moe"] = moe_us * config.moe_layers / 1000.0
+        step_us += moe_us * config.moe_layers
+    if config.mamba_layers:
+        scan_backend = backend if backend != "baseline" else "mamba-lib"
+        scan_us = _mamba_step_us(gpu, config, batch_size, scan_backend)
+        breakdown["mamba_scan"] = scan_us * config.mamba_layers / 1000.0
+        step_us += scan_us * config.mamba_layers
+    if config.dense_ffn_layers:
+        ffn_us = _ffn_step_us(gpu, config, batch_size, backend)
+        breakdown["ffn"] = ffn_us * config.dense_ffn_layers / 1000.0
+        step_us += ffn_us * config.dense_ffn_layers
+
+    return DecodeResult(
+        model=config.name,
+        backend=backend,
+        batch_size=batch_size,
+        output_tokens=output_tokens,
+        step_latency_ms=step_us / 1000.0,
+        breakdown_ms=breakdown,
+    )

@@ -1,0 +1,5 @@
+"""The user-facing Hexcute DSL (kernel builder, decorator and autotuner)."""
+
+from repro.frontend.script import KernelBuilder, KernelDefinition, kernel
+
+__all__ = ["KernelBuilder", "KernelDefinition", "kernel"]

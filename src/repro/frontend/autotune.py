@@ -1,0 +1,94 @@
+"""Tile-size autotuning.
+
+Hexcute generates shape-specific kernels and tunes hyperparameters such as
+tile sizes; the paper notes that *non-power-of-two* tiles are selected for
+28 of 40 GEMM shapes on H100 and that disabling them costs up to 13.4%
+performance.  The tuner below evaluates candidate tile configurations with
+the compiler's analytical latency estimate (no hardware runs needed) and
+returns the best configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["TuneResult", "autotune", "gemm_tile_candidates"]
+
+
+@dataclass
+class TuneResult:
+    """The outcome of an autotuning sweep."""
+
+    best_params: Dict
+    best_latency_us: float
+    trials: List[Tuple[Dict, float]]
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.trials)
+
+
+def autotune(
+    evaluate: Callable[[Dict], Optional[float]],
+    candidates: Iterable[Dict],
+) -> TuneResult:
+    """Evaluate candidate parameter dicts and keep the fastest.
+
+    ``evaluate`` returns the simulated latency in microseconds, or ``None``
+    if the candidate is infeasible (e.g. tile sizes that do not divide the
+    problem or exceed shared memory).
+    """
+    trials: List[Tuple[Dict, float]] = []
+    best_params: Optional[Dict] = None
+    best_latency = float("inf")
+    for params in candidates:
+        try:
+            latency = evaluate(params)
+        except Exception:
+            latency = None
+        if latency is None:
+            continue
+        trials.append((params, latency))
+        if latency < best_latency:
+            best_latency = latency
+            best_params = params
+    if best_params is None:
+        raise RuntimeError("autotune: no feasible candidate configuration")
+    return TuneResult(best_params=best_params, best_latency_us=best_latency, trials=trials)
+
+
+def gemm_tile_candidates(
+    m: int,
+    n: int,
+    k: int,
+    allow_non_power_of_two: bool = True,
+) -> List[Dict]:
+    """Candidate (BM, BN, BK) tilings for a GEMM problem.
+
+    Includes the canonical power-of-two tiles plus non-power-of-two block
+    sizes (multiples of the 16x8 instruction atom such as 96, 112, 144, 160)
+    that better fit odd problem shapes — the choice Section VII-A highlights.
+    """
+    bm_options = [64, 128, 256]
+    bn_options = [64, 128, 256]
+    bk_options = [32, 64]
+    if allow_non_power_of_two:
+        bm_options += [96, 112, 144, 160, 192, 224]
+        bn_options += [96, 112, 160, 192]
+    candidates: List[Dict] = []
+    for bm in sorted(set(bm_options)):
+        if bm > max(m, 64):
+            continue
+        for bn in sorted(set(bn_options)):
+            if bn > max(n, 64):
+                continue
+            for bk in bk_options:
+                if bk > k:
+                    continue
+                if k % bk != 0:
+                    continue
+                candidates.append({"bm": bm, "bn": bn, "bk": bk})
+    if not candidates:
+        candidates.append({"bm": min(64, m), "bn": min(64, n), "bk": min(32, k)})
+    return candidates

@@ -1,0 +1,297 @@
+"""The user-facing Hexcute DSL: a kernel-builder API over the tile IR.
+
+A kernel is written as a Python function that receives a
+:class:`KernelBuilder` and calls the tile-level primitives of Table I
+(``global_view``, ``register_tensor``, ``shared_tensor``, ``copy``,
+``gemm``, ``cast``, ``rearrange``, ``elementwise``, ``reduce``).  The
+builder also exposes the explicit-control features the paper emphasises:
+
+* ``for_range`` — the main loop; operations added inside are weighted by the
+  trip count for cost modelling and pipelined across ``num_stages``;
+* ``warp_groups_producer`` / ``warp_groups_consumer`` — the NVDSL-style
+  context managers for warp-specialized kernels;
+* per-tensor TV-layout annotations (``TileTensor.annotate_tv``) for
+  consistent thread arrangements across multiple gemms.
+
+Layouts are *not* written by the user (except for global views, whose
+layouts are dictated by the caller): the compiler synthesizes them.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.ir.graph import KernelProgram
+from repro.ir.ops import (
+    AllocRegister,
+    AllocShared,
+    Cast,
+    Copy,
+    Elementwise,
+    Fill,
+    Gemm,
+    GlobalView,
+    Rearrange,
+    Reduce,
+)
+from repro.ir.tensor import Scope, TileTensor
+from repro.ir.types import DataType
+from repro.layout.layout import Layout, row_major
+
+__all__ = ["KernelBuilder", "KernelDefinition", "kernel"]
+
+
+class KernelBuilder:
+    """Builds a :class:`KernelProgram` through tile-level primitives."""
+
+    def __init__(
+        self,
+        name: str,
+        num_threads: int = 128,
+        grid_blocks: int = 1,
+        num_stages: int = 1,
+        warp_specialized: bool = False,
+    ):
+        self.program = KernelProgram(
+            name,
+            num_threads=num_threads,
+            grid_blocks=grid_blocks,
+            num_stages=num_stages,
+            warp_specialized=warp_specialized,
+        )
+        self._names = itertools.count()
+        self._trips = 1
+        self._stage = "main"
+
+    # ------------------------------------------------------------------ #
+    # Naming helpers
+    # ------------------------------------------------------------------ #
+    def _name(self, prefix: str, name: Optional[str]) -> str:
+        if name is not None:
+            return name
+        return f"{prefix}{next(self._names)}"
+
+    def _add(self, op):
+        op.trips = self._trips
+        op.stage = self._stage
+        return self.program.add(op)
+
+    # ------------------------------------------------------------------ #
+    # Tensor declarations (Table I)
+    # ------------------------------------------------------------------ #
+    def global_view(
+        self,
+        buffer_name: str,
+        dtype: DataType,
+        shape: Sequence[int],
+        layout: Optional[Layout] = None,
+        name: Optional[str] = None,
+    ) -> TileTensor:
+        """View a global buffer as a tile tensor with a user-given layout."""
+        layout = layout if layout is not None else row_major(shape)
+        tensor = TileTensor(
+            name=self._name("g", name),
+            dtype=dtype,
+            scope=Scope.GLOBAL,
+            shape=tuple(shape),
+            layout=layout,
+            buffer_name=buffer_name,
+        )
+        self._add(GlobalView(tensor))
+        return tensor
+
+    def register_tensor(
+        self, dtype: DataType, shape: Sequence[int], name: Optional[str] = None
+    ) -> TileTensor:
+        tensor = TileTensor(
+            name=self._name("r", name),
+            dtype=dtype,
+            scope=Scope.REGISTER,
+            shape=tuple(shape),
+        )
+        self._add(AllocRegister(tensor))
+        return tensor
+
+    def shared_tensor(
+        self, dtype: DataType, shape: Sequence[int], name: Optional[str] = None
+    ) -> TileTensor:
+        tensor = TileTensor(
+            name=self._name("s", name),
+            dtype=dtype,
+            scope=Scope.SHARED,
+            shape=tuple(shape),
+        )
+        self._add(AllocShared(tensor))
+        return tensor
+
+    # ------------------------------------------------------------------ #
+    # Tile-level operations (Table I)
+    # ------------------------------------------------------------------ #
+    def copy(self, src: TileTensor, dst: TileTensor) -> Copy:
+        return self._add(Copy(src, dst))
+
+    def gemm(self, c: TileTensor, a: TileTensor, b: TileTensor) -> Gemm:
+        return self._add(Gemm(c, a, b))
+
+    def cast(self, src: TileTensor, dtype: DataType, name: Optional[str] = None) -> TileTensor:
+        dst = TileTensor(
+            name=self._name(f"{src.name}_as_{dtype.name}", name),
+            dtype=dtype,
+            scope=Scope.REGISTER,
+            shape=src.shape,
+        )
+        self._add(AllocRegister(dst))
+        self._add(Cast(src, dst))
+        return dst
+
+    def rearrange(self, src: TileTensor, name: Optional[str] = None) -> TileTensor:
+        dst = TileTensor(
+            name=self._name(f"{src.name}_re", name),
+            dtype=src.dtype,
+            scope=Scope.REGISTER,
+            shape=src.shape,
+        )
+        self._add(AllocRegister(dst))
+        self._add(Rearrange(src, dst))
+        return dst
+
+    def elementwise(
+        self,
+        fn: Callable,
+        *tensors: TileTensor,
+        fn_name: str = "fn",
+        out_dtype: Optional[DataType] = None,
+        out: Optional[TileTensor] = None,
+        name: Optional[str] = None,
+    ) -> TileTensor:
+        """Apply ``fn`` element-wise; pass ``out=`` to accumulate in place
+        (e.g. ``acc = fn(acc, update)`` inside the main loop)."""
+        if out is None:
+            out = TileTensor(
+                name=self._name("e", name),
+                dtype=out_dtype or tensors[0].dtype,
+                scope=Scope.REGISTER,
+                shape=tensors[0].shape,
+            )
+            self._add(AllocRegister(out))
+        self._add(Elementwise(list(tensors), out, fn, fn_name=fn_name))
+        return out
+
+    def reduce(
+        self, src: TileTensor, dim: int, kind: str = "sum", name: Optional[str] = None
+    ) -> TileTensor:
+        out_shape = tuple(1 if i == dim else s for i, s in enumerate(src.shape))
+        out = TileTensor(
+            name=self._name(f"{src.name}_{kind}", name),
+            dtype=src.dtype,
+            scope=Scope.REGISTER,
+            shape=out_shape,
+        )
+        self._add(AllocRegister(out))
+        self._add(Reduce(src, out, dim, kind))
+        return out
+
+    def fill(self, dst: TileTensor, value: float = 0.0) -> Fill:
+        return self._add(Fill(dst, value))
+
+    # ------------------------------------------------------------------ #
+    # Control / scheduling annotations
+    # ------------------------------------------------------------------ #
+    @contextlib.contextmanager
+    def for_range(self, trips: int):
+        """The kernel's main loop; nested loops multiply trip counts."""
+        if trips < 1:
+            raise ValueError(f"loop trip count must be >= 1, got {trips}")
+        previous = self._trips
+        self._trips = previous * int(trips)
+        try:
+            yield
+        finally:
+            self._trips = previous
+
+    @contextlib.contextmanager
+    def warp_groups_producer(self):
+        """Operations issued by the producer warp group (memory movement)."""
+        self.program.warp_specialized = True
+        previous = self._stage
+        self._stage = "producer"
+        try:
+            yield
+        finally:
+            self._stage = previous
+
+    @contextlib.contextmanager
+    def warp_groups_consumer(self):
+        """Operations issued by the consumer warp group (Tensor Core math)."""
+        self.program.warp_specialized = True
+        previous = self._stage
+        self._stage = "consumer"
+        try:
+            yield
+        finally:
+            self._stage = previous
+
+    def build(self) -> KernelProgram:
+        self.program.validate()
+        return self.program
+
+
+@dataclass
+class KernelDefinition:
+    """A kernel template: a builder function plus default launch parameters."""
+
+    fn: Callable
+    name: str
+    num_threads: int = 128
+    num_stages: int = 1
+    warp_specialized: bool = False
+
+    def build(self, grid_blocks: int = 1, **params) -> KernelProgram:
+        builder = KernelBuilder(
+            self.name,
+            num_threads=params.pop("num_threads", self.num_threads),
+            grid_blocks=grid_blocks,
+            num_stages=params.pop("num_stages", self.num_stages),
+            warp_specialized=params.pop("warp_specialized", self.warp_specialized),
+        )
+        self.fn(builder, **params)
+        return builder.build()
+
+    def compile(self, arch: int = 80, grid_blocks: int = 1, **params):
+        from repro.compiler import compile_kernel
+
+        return compile_kernel(self.build(grid_blocks=grid_blocks, **params), arch=arch)
+
+
+def kernel(
+    name: Optional[str] = None,
+    num_threads: int = 128,
+    num_stages: int = 1,
+    warp_specialized: bool = False,
+) -> Callable[[Callable], KernelDefinition]:
+    """Decorator turning a builder function into a :class:`KernelDefinition`.
+
+    Example
+    -------
+    >>> @kernel(num_threads=128)
+    ... def my_copy(hx, n):
+    ...     src = hx.global_view("src", types.float16, (n,))
+    ...     dst = hx.global_view("dst", types.float16, (n,))
+    ...     reg = hx.register_tensor(types.float16, (n,))
+    ...     hx.copy(src, reg)
+    ...     hx.copy(reg, dst)
+    """
+
+    def decorate(fn: Callable) -> KernelDefinition:
+        return KernelDefinition(
+            fn=fn,
+            name=name or fn.__name__,
+            num_threads=num_threads,
+            num_stages=num_stages,
+            warp_specialized=warp_specialized,
+        )
+
+    return decorate

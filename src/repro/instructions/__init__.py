@@ -1,0 +1,21 @@
+"""Collective instructions modelled as thread-value layouts, plus the
+per-architecture instruction sets and microbenchmark latency tables."""
+
+from repro.instructions.instruction import MemoryInstruction, MmaInstruction
+from repro.instructions.registry import (
+    InstructionSet,
+    instruction_set,
+    GLOBAL_LATENCY,
+    SHARED_LATENCY,
+)
+from repro.instructions import atoms
+
+__all__ = [
+    "MemoryInstruction",
+    "MmaInstruction",
+    "InstructionSet",
+    "instruction_set",
+    "GLOBAL_LATENCY",
+    "SHARED_LATENCY",
+    "atoms",
+]

@@ -1,0 +1,104 @@
+"""Thread-value layout atoms of the Tensor Core and ldmatrix instructions.
+
+The layouts below describe, for a single 32-thread warp, which element of an
+instruction fragment each (thread, value) pair holds.  They follow the PTX
+operand mappings (the same ones CuTe encodes in its ``MMA_Traits``); the
+FP16 ``m16n8k16`` atom and the ``ldmatrix`` atom are the ones illustrated in
+Figs. 7 and 8 of the paper.
+
+All fragment tiles use column-major (colexicographic) linearisation, i.e.
+the layout's codomain index for coordinate ``(i, j)`` of a ``(R, C)`` tile
+is ``i + j * R``.
+"""
+
+from __future__ import annotations
+
+from repro.layout.layout import Layout
+from repro.layout.tv import TVLayout
+
+__all__ = [
+    "MMA_M16N8K16_F16_A",
+    "MMA_M16N8K16_F16_B",
+    "MMA_M16N8K16_C",
+    "MMA_M16N8K8_F16_A",
+    "MMA_M16N8K8_F16_B",
+    "MMA_M16N8K32_8BIT_A",
+    "MMA_M16N8K32_8BIT_B",
+    "LDMATRIX_X4_POINTER",
+    "LDMATRIX_X4_FRAGMENT",
+    "LDMATRIX_X2_FRAGMENT",
+    "STMATRIX_X4_FRAGMENT",
+]
+
+# --------------------------------------------------------------------------- #
+# mma.sync.aligned.m16n8k16 (FP16/BF16 inputs)
+# --------------------------------------------------------------------------- #
+# A operand: (16, 16) fragment, 8 elements per thread.
+MMA_M16N8K16_F16_A = TVLayout(
+    Layout(((4, 8), (2, 2, 2)), ((32, 1), (16, 8, 128))),
+    (16, 16),
+)
+
+# B operand: (8, 16) fragment (N x K), 4 elements per thread.
+MMA_M16N8K16_F16_B = TVLayout(
+    Layout(((4, 8), (2, 2)), ((16, 1), (8, 64))),
+    (8, 16),
+)
+
+# C/D operand: (16, 8) fragment, 4 elements per thread.
+MMA_M16N8K16_C = TVLayout(
+    Layout(((4, 8), (2, 2)), ((32, 1), (16, 8))),
+    (16, 8),
+)
+
+# --------------------------------------------------------------------------- #
+# mma.sync.aligned.m16n8k8 (FP16 inputs) — the smaller Ampere shape.
+# --------------------------------------------------------------------------- #
+MMA_M16N8K8_F16_A = TVLayout(
+    Layout(((4, 8), (2, 2)), ((32, 1), (16, 8))),
+    (16, 8),
+)
+
+MMA_M16N8K8_F16_B = TVLayout(
+    Layout(((4, 8), 2), ((16, 1), 8)),
+    (8, 8),
+)
+
+# --------------------------------------------------------------------------- #
+# mma.sync.aligned.m16n8k32 (8-bit inputs: int8 / FP8 e4m3 / e5m2)
+# --------------------------------------------------------------------------- #
+MMA_M16N8K32_8BIT_A = TVLayout(
+    Layout(((4, 8), (2, 2, 2, 2)), ((32, 1), (16, 8, 128, 256))),
+    (16, 32),
+)
+
+MMA_M16N8K32_8BIT_B = TVLayout(
+    Layout(((4, 8), (2, 2, 2)), ((16, 1), (8, 64, 128))),
+    (8, 32),
+)
+
+# --------------------------------------------------------------------------- #
+# ldmatrix / stmatrix
+# --------------------------------------------------------------------------- #
+# Pointer layout p of ldmatrix.x4 (Fig. 7 a): each of the 32 threads supplies
+# the base address of one 8-element row; the tile is viewed as 32 rows of 8.
+LDMATRIX_X4_POINTER = TVLayout(
+    Layout((32, 8), (1, 32)),
+    (32, 8),
+)
+
+# Fragment layout q of ldmatrix.x4 (Fig. 7 b): four 8x8 matrices, each thread
+# ends up with 8 elements.  Expressed over the same 256-element space.
+LDMATRIX_X4_FRAGMENT = TVLayout(
+    Layout(((4, 8), (2, 4)), ((64, 1), (32, 8))),
+    (32, 8),
+)
+
+# ldmatrix.x2 loads two 8x8 matrices (used for the B operand of k=16 MMAs).
+LDMATRIX_X2_FRAGMENT = TVLayout(
+    Layout(((4, 8), (2, 2)), ((64, 1), (32, 8))),
+    (16, 8),
+)
+
+# stmatrix.x4 mirrors ldmatrix.x4 (Hopper only).
+STMATRIX_X4_FRAGMENT = LDMATRIX_X4_FRAGMENT

@@ -1,0 +1,43 @@
+"""The tile-level intermediate representation behind the Hexcute DSL."""
+
+from repro.ir import types
+from repro.ir.types import DataType, from_name
+from repro.ir.tensor import Scope, TileTensor
+from repro.ir.ops import (
+    Operation,
+    GlobalView,
+    AllocRegister,
+    AllocShared,
+    Copy,
+    Gemm,
+    Cast,
+    Rearrange,
+    Elementwise,
+    Reduce,
+    Fill,
+)
+from repro.ir.graph import KernelProgram, ProgramError
+from repro.ir.printer import print_program, format_operation
+
+__all__ = [
+    "types",
+    "DataType",
+    "from_name",
+    "Scope",
+    "TileTensor",
+    "Operation",
+    "GlobalView",
+    "AllocRegister",
+    "AllocShared",
+    "Copy",
+    "Gemm",
+    "Cast",
+    "Rearrange",
+    "Elementwise",
+    "Reduce",
+    "Fill",
+    "KernelProgram",
+    "ProgramError",
+    "print_program",
+    "format_operation",
+]

@@ -1,0 +1,160 @@
+"""Scalar data types of the Hexcute tile language.
+
+The DSL supports the types listed in the paper's Appendix B: the usual IEEE
+floats, bfloat16, the FP8 formats, and sub-byte integers used by
+weight-only quantization (``int4``/``uint4`` down to 1-bit).  Because the
+execution substrate is a numpy-based simulator, every type carries the numpy
+dtype used for *storage in the functional executor* together with its true
+bit width used for *memory traffic accounting* in the timing model — a
+4-bit weight occupies 4 bits of simulated DRAM/shared memory even though the
+executor stores it in an ``int8`` array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DataType",
+    "float64",
+    "float32",
+    "float16",
+    "bfloat16",
+    "float8_e4m3",
+    "float8_e5m2",
+    "int32",
+    "uint32",
+    "int16",
+    "int8",
+    "uint8",
+    "int4",
+    "uint4",
+    "int2",
+    "uint2",
+    "int1",
+    "uint1",
+    "all_types",
+    "from_name",
+]
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A scalar type: logical bit width plus simulation storage dtype."""
+
+    name: str
+    bits: int
+    is_float: bool
+    is_signed: bool
+    storage: np.dtype
+
+    @property
+    def bytes(self) -> float:
+        """Logical size in bytes (may be fractional for sub-byte types)."""
+        return self.bits / 8
+
+    @property
+    def is_integer(self) -> bool:
+        return not self.is_float
+
+    @property
+    def is_subbyte(self) -> bool:
+        return self.bits < 8
+
+    def min_value(self) -> float:
+        if self.is_float:
+            return float("-inf")
+        if self.is_signed:
+            return -(2 ** (self.bits - 1))
+        return 0
+
+    def max_value(self) -> float:
+        if self.is_float:
+            return float("inf")
+        if self.is_signed:
+            return 2 ** (self.bits - 1) - 1
+        return 2**self.bits - 1
+
+    def quantize(self, array: np.ndarray) -> np.ndarray:
+        """Round-trip an array through this type's representable values.
+
+        Used by the functional executor so low-precision casts lose
+        precision the way they would on hardware (saturating for ints,
+        truncating mantissa bits for the reduced floats).
+        """
+        if self.is_float:
+            if self.name == "float16":
+                return array.astype(np.float16).astype(np.float32)
+            if self.name == "bfloat16":
+                as_int = array.astype(np.float32).view(np.uint32)
+                truncated = (as_int & np.uint32(0xFFFF0000)).view(np.float32)
+                return truncated
+            if self.name.startswith("float8"):
+                # 3 (e4m3) or 2 (e5m2) mantissa bits: quantize the mantissa.
+                mantissa_bits = 3 if self.name.endswith("e4m3") else 2
+                scale = 2.0**mantissa_bits
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    exponent = np.where(array == 0, 0.0, np.floor(np.log2(np.abs(array))))
+                step = np.exp2(exponent) / scale
+                result = np.where(step == 0, array, np.round(array / np.maximum(step, 1e-30)) * step)
+                return result.astype(np.float32)
+            return array.astype(self.storage)
+        clipped = np.clip(np.round(array), self.min_value(), self.max_value())
+        return clipped.astype(self.storage)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+float64 = DataType("float64", 64, True, True, np.dtype(np.float64))
+float32 = DataType("float32", 32, True, True, np.dtype(np.float32))
+float16 = DataType("float16", 16, True, True, np.dtype(np.float32))
+bfloat16 = DataType("bfloat16", 16, True, True, np.dtype(np.float32))
+float8_e4m3 = DataType("float8_e4m3", 8, True, True, np.dtype(np.float32))
+float8_e5m2 = DataType("float8_e5m2", 8, True, True, np.dtype(np.float32))
+int32 = DataType("int32", 32, False, True, np.dtype(np.int32))
+uint32 = DataType("uint32", 32, False, False, np.dtype(np.uint32))
+int16 = DataType("int16", 16, False, True, np.dtype(np.int16))
+int8 = DataType("int8", 8, False, True, np.dtype(np.int8))
+uint8 = DataType("uint8", 8, False, False, np.dtype(np.uint8))
+int4 = DataType("int4", 4, False, True, np.dtype(np.int8))
+uint4 = DataType("uint4", 4, False, False, np.dtype(np.uint8))
+int2 = DataType("int2", 2, False, True, np.dtype(np.int8))
+uint2 = DataType("uint2", 2, False, False, np.dtype(np.uint8))
+int1 = DataType("int1", 1, False, True, np.dtype(np.int8))
+uint1 = DataType("uint1", 1, False, False, np.dtype(np.uint8))
+
+_ALL = [
+    float64,
+    float32,
+    float16,
+    bfloat16,
+    float8_e4m3,
+    float8_e5m2,
+    int32,
+    uint32,
+    int16,
+    int8,
+    uint8,
+    int4,
+    uint4,
+    int2,
+    uint2,
+    int1,
+    uint1,
+]
+
+
+def all_types() -> list[DataType]:
+    """All supported scalar types."""
+    return list(_ALL)
+
+
+def from_name(name: str) -> DataType:
+    """Look up a type by name (e.g. ``"float16"``)."""
+    for dtype in _ALL:
+        if dtype.name == name:
+            return dtype
+    raise KeyError(f"unknown data type {name!r}")

@@ -1,0 +1,74 @@
+"""Layout algebra: the foundation of Hexcute's layout synthesis.
+
+This package implements CuTe-style layouts (hierarchical shape:stride
+functions), their algebra (coalesce, composition, complement, inverses,
+divides and products), thread-value layouts for register tensors, swizzles
+for bank-conflict-free shared memory, and parameterized layout constraints
+with unification.
+"""
+
+from repro.layout.layout import (
+    Layout,
+    make_layout,
+    make_ordered_layout,
+    row_major,
+    column_major,
+    is_layout,
+)
+from repro.layout.algebra import (
+    coalesce,
+    filter_zeros,
+    composition,
+    complement,
+    right_inverse,
+    left_inverse,
+    logical_divide,
+    zipped_divide,
+    tiled_divide,
+    flat_divide,
+    logical_product,
+    blocked_product,
+    raked_product,
+)
+from repro.layout.tv import TVLayout, make_tv_layout, rebase_strides
+from repro.layout.swizzle import Swizzle, ComposedLayout, candidate_swizzles
+from repro.layout.constraint import (
+    StrideVar,
+    ConstraintMode,
+    LayoutConstraint,
+    UnificationError,
+    unify,
+)
+
+__all__ = [
+    "Layout",
+    "make_layout",
+    "make_ordered_layout",
+    "row_major",
+    "column_major",
+    "is_layout",
+    "coalesce",
+    "filter_zeros",
+    "composition",
+    "complement",
+    "right_inverse",
+    "left_inverse",
+    "logical_divide",
+    "zipped_divide",
+    "tiled_divide",
+    "flat_divide",
+    "logical_product",
+    "blocked_product",
+    "raked_product",
+    "TVLayout",
+    "make_tv_layout",
+    "rebase_strides",
+    "Swizzle",
+    "ComposedLayout",
+    "candidate_swizzles",
+    "StrideVar",
+    "ConstraintMode",
+    "LayoutConstraint",
+    "UnificationError",
+    "unify",
+]

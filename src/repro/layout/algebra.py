@@ -1,0 +1,381 @@
+"""CuTe layout algebra: coalesce, composition, complement, inverse, divide, product.
+
+These operations are what make layouts a practical representation for layout
+*synthesis*: because layouts are closed under composition and admit (right)
+inverses on their image, Hexcute can express constraints such as
+``f ∘ p⁻¹ = g ∘ q⁻¹`` (the copy constraint of Section IV-A) and solve them
+symbolically, e.g. ``f = g ∘ q⁻¹ ∘ p``.
+
+The algorithms follow the ``pycute`` reference implementation distributed
+with CUTLASS, restricted to non-negative strides.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.layout.layout import Layout, make_layout
+from repro.utils.inttuple import (
+    IntTuple,
+    ceil_div,
+    flatten,
+    is_int,
+    is_tuple,
+    prefix_product,
+    product,
+    shape_div,
+)
+
+__all__ = [
+    "coalesce",
+    "filter_zeros",
+    "composition",
+    "complement",
+    "right_inverse",
+    "left_inverse",
+    "logical_divide",
+    "zipped_divide",
+    "tiled_divide",
+    "flat_divide",
+    "logical_product",
+    "blocked_product",
+    "raked_product",
+    "zipped_product",
+    "local_partition",
+    "local_tile",
+]
+
+LayoutOrInt = Union[Layout, int]
+
+
+def _as_layout(value: LayoutOrInt) -> Layout:
+    if isinstance(value, Layout):
+        return value
+    if isinstance(value, int):
+        return Layout(value)
+    raise TypeError(f"expected Layout or int, got {value!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Coalesce
+# --------------------------------------------------------------------------- #
+def coalesce(layout: Layout, profile: IntTuple | None = None) -> Layout:
+    """Simplify a layout without changing it as a function.
+
+    Adjacent flat modes ``(s0:d0, s1:d1)`` merge into ``s0*s1 : d0`` whenever
+    ``d1 == s0 * d0``; size-1 modes are dropped.  With ``profile`` given, the
+    coalescing is applied per top-level mode of the profile so that the
+    result keeps that rank (CuTe's "by-mode" coalesce).
+    """
+    if profile is not None and is_tuple(profile):
+        modes = [
+            coalesce(layout[i], profile[i] if i < len(profile) else None)
+            for i in range(len(profile))
+        ]
+        return make_layout(*modes)
+
+    flat_shape = flatten(layout.shape)
+    flat_stride = flatten(layout.stride)
+
+    result_shape: list[int] = [1]
+    result_stride: list[int] = [0]
+    for shape, stride in zip(flat_shape, flat_stride):
+        if shape == 1:
+            continue
+        if result_shape[-1] == 1:
+            result_shape[-1] = shape
+            result_stride[-1] = stride
+        elif stride == result_shape[-1] * result_stride[-1]:
+            result_shape[-1] = result_shape[-1] * shape
+        else:
+            result_shape.append(shape)
+            result_stride.append(stride)
+
+    if len(result_shape) == 1:
+        return Layout(result_shape[0], result_stride[0])
+    return Layout(tuple(result_shape), tuple(result_stride))
+
+
+def filter_zeros(layout: Layout) -> Layout:
+    """Replace the extent of every stride-0 mode with 1 and coalesce."""
+    flat_shape = flatten(layout.shape)
+    flat_stride = flatten(layout.stride)
+    new_shape = tuple(1 if d == 0 else s for s, d in zip(flat_shape, flat_stride))
+    return coalesce(Layout(new_shape, flat_stride))
+
+
+# --------------------------------------------------------------------------- #
+# Composition
+# --------------------------------------------------------------------------- #
+def composition(layout_a: LayoutOrInt, layout_b) -> Layout:
+    """Functional composition ``A ∘ B``: ``(A ∘ B)(c) = A(B(c))``.
+
+    ``layout_b`` may be a Layout, an int (interpreted as the layout ``b:1``),
+    a tuple of such (a *tiler*, composed by-mode), or ``None`` (identity).
+    """
+    layout_a = _as_layout(layout_a)
+    if layout_b is None:
+        return layout_a
+    if isinstance(layout_b, int):
+        layout_b = Layout(layout_b)
+    if isinstance(layout_b, tuple):
+        modes = [composition(layout_a[i], sub) for i, sub in enumerate(layout_b)]
+        return make_layout(*modes)
+    if not isinstance(layout_b, Layout):
+        raise TypeError(f"composition: invalid right operand {layout_b!r}")
+
+    if is_tuple(layout_b.shape):
+        modes = [composition(layout_a, layout_b[i]) for i in range(layout_b.rank())]
+        return make_layout(*modes)
+
+    # layout_b is a single integral mode s:d
+    b_shape = layout_b.shape
+    b_stride = layout_b.stride
+    if b_stride == 0:
+        return Layout(b_shape, 0)
+
+    flat_a = coalesce(layout_a)
+    flat_shape = flatten(flat_a.shape)
+    flat_stride = flatten(flat_a.stride)
+
+    result_shape: list[int] = []
+    result_stride: list[int] = []
+    rest_shape = b_shape
+    rest_stride = b_stride
+    for shape, stride in zip(flat_shape[:-1], flat_stride[:-1]):
+        s1 = shape_div(shape, rest_stride)
+        result_shape.append(min(s1, rest_shape))
+        result_stride.append(rest_stride * stride)
+        rest_shape = shape_div(rest_shape, s1)
+        rest_stride = shape_div(rest_stride, shape)
+    result_shape.append(rest_shape)
+    result_stride.append(rest_stride * flat_stride[-1])
+
+    if len(result_shape) == 1:
+        return coalesce(Layout(result_shape[0], result_stride[0]))
+    return coalesce(Layout(tuple(result_shape), tuple(result_stride)))
+
+
+# --------------------------------------------------------------------------- #
+# Complement
+# --------------------------------------------------------------------------- #
+def complement(layout: LayoutOrInt, cosize_hi: int | None = None) -> Layout:
+    """The layout covering the codomain indices *not* touched by ``layout``.
+
+    ``complement(L, M)`` is the "rest" layout ``R`` such that ``(L, R)`` is
+    an admissible (injective) cover of ``[0, M)``.  Used to build divides
+    and products.
+    """
+    layout = _as_layout(layout)
+    if cosize_hi is None:
+        cosize_hi = layout.cosize()
+
+    flat_shape = flatten(layout.shape)
+    flat_stride = flatten(layout.stride)
+    pairs = sorted(
+        (d, s) for s, d in zip(flat_shape, flat_stride) if not (d == 0 or s == 1)
+    )
+
+    result_shape: list[int] = []
+    result_stride: list[int] = []
+    current = 1
+    for stride, shape in pairs:
+        if stride % current != 0:
+            raise ValueError(
+                f"complement: layout {layout} is not complementable "
+                f"(stride {stride} not divisible by {current})"
+            )
+        result_shape.append(stride // current)
+        result_stride.append(current)
+        current = shape * stride
+    result_shape.append(ceil_div(cosize_hi, current))
+    result_stride.append(current)
+
+    return coalesce(Layout(tuple(result_shape), tuple(result_stride)))
+
+
+# --------------------------------------------------------------------------- #
+# Inverses
+# --------------------------------------------------------------------------- #
+def right_inverse(layout: LayoutOrInt) -> Layout:
+    """A layout ``R`` with ``L(R(i)) = i`` for every ``i`` in ``[0, size(R))``.
+
+    The inverse covers the maximal contiguous prefix ``[0, k)`` of the image
+    of ``L``.  For a compact bijective layout this is a full inverse.
+    """
+    layout = _as_layout(layout)
+    flat = coalesce(layout)
+    shapes = flatten(flat.shape)
+    strides = flatten(flat.stride)
+
+    # Domain position (colex) of each flat mode.
+    positions = flatten(prefix_product(shapes))
+
+    order = sorted(range(len(shapes)), key=lambda i: strides[i])
+    result_shape: list[int] = []
+    result_stride: list[int] = []
+    current = 1
+    for i in order:
+        if strides[i] == 0 or shapes[i] == 1:
+            continue
+        if strides[i] != current:
+            break
+        result_shape.append(shapes[i])
+        result_stride.append(positions[i])
+        current = shapes[i] * strides[i]
+
+    if not result_shape:
+        return Layout(1, 0)
+    return coalesce(Layout(tuple(result_shape), tuple(result_stride)))
+
+
+def left_inverse(layout: LayoutOrInt) -> Layout:
+    """A layout ``R`` with ``R(L(i)) = i`` for every domain index ``i``.
+
+    Only defined for injective layouts; computed as the right inverse of
+    ``(L, complement(L))``.
+    """
+    layout = _as_layout(layout)
+    return right_inverse(make_layout(layout, complement(layout)))
+
+
+# --------------------------------------------------------------------------- #
+# Divides
+# --------------------------------------------------------------------------- #
+def logical_divide(layout: LayoutOrInt, tiler) -> Layout:
+    """Split ``layout`` by ``tiler``: mode 0 iterates inside a tile, mode 1
+    across the tiles.
+
+    ``tiler`` may be a Layout, int, or a tuple of tilers (applied by-mode).
+    """
+    layout = _as_layout(layout)
+    if tiler is None:
+        return layout
+    if isinstance(tiler, tuple):
+        modes = [logical_divide(layout[i], sub) for i, sub in enumerate(tiler)]
+        # Remaining, untiled modes pass through unchanged.
+        for i in range(len(tiler), layout.rank()):
+            modes.append(layout[i])
+        return make_layout(*modes)
+    tiler = _as_layout(tiler)
+    return composition(layout, make_layout(tiler, complement(tiler, layout.size())))
+
+
+def zipped_divide(layout: LayoutOrInt, tiler) -> Layout:
+    """Like :func:`logical_divide` but gathers the tile modes first and the
+    rest modes second: result is ``((tile...), (rest...))``."""
+    layout = _as_layout(layout)
+    if not isinstance(tiler, tuple):
+        tiler = (tiler,)
+    divided = logical_divide(layout, tiler)
+    tile_modes = []
+    rest_modes = []
+    for i in range(divided.rank()):
+        mode = divided[i]
+        if i < len(tiler):
+            tile_modes.append(mode[0])
+            rest_modes.append(mode[1])
+        else:
+            rest_modes.append(mode)
+    return make_layout(make_layout(*tile_modes), make_layout(*rest_modes))
+
+
+def tiled_divide(layout: LayoutOrInt, tiler) -> Layout:
+    """Like :func:`zipped_divide` but with the rest modes unpacked at the
+    top level: ``((tile...), rest0, rest1, ...)``."""
+    zipped = zipped_divide(layout, tiler)
+    rest = zipped[1]
+    modes = [zipped[0]] + [rest[i] for i in range(rest.rank())]
+    return make_layout(*modes)
+
+
+def flat_divide(layout: LayoutOrInt, tiler) -> Layout:
+    """Like :func:`zipped_divide` with both groups unpacked at the top."""
+    zipped = zipped_divide(layout, tiler)
+    tile, rest = zipped[0], zipped[1]
+    modes = [tile[i] for i in range(tile.rank())]
+    modes += [rest[i] for i in range(rest.rank())]
+    return make_layout(*modes)
+
+
+# --------------------------------------------------------------------------- #
+# Products
+# --------------------------------------------------------------------------- #
+def logical_product(layout_a: LayoutOrInt, layout_b: LayoutOrInt) -> Layout:
+    """Repeat ``layout_a`` according to ``layout_b``.
+
+    The result's first mode is ``layout_a`` (one tile) and its second mode
+    arranges ``size(layout_b)`` replicas of that tile.
+    """
+    layout_a = _as_layout(layout_a)
+    layout_b = _as_layout(layout_b)
+    rest = composition(
+        complement(layout_a, layout_a.size() * layout_b.cosize()), layout_b
+    )
+    return make_layout(layout_a, rest)
+
+
+def zipped_product(layout_a: LayoutOrInt, layout_b: LayoutOrInt) -> Layout:
+    return logical_product(layout_a, layout_b)
+
+
+def blocked_product(layout_a: Layout, layout_b: Layout) -> Layout:
+    """Block-wise product: tiles of ``layout_a`` arranged per ``layout_b``,
+    with the result presented dimension-by-dimension (tile-major)."""
+    rank = max(layout_a.rank(), layout_b.rank())
+    padded_a = _pad_rank(layout_a, rank)
+    padded_b = _pad_rank(layout_b, rank)
+    prod = logical_product(padded_a, padded_b)
+    modes = []
+    for i in range(rank):
+        modes.append(coalesce(make_layout(prod[0][i], prod[1][i])))
+    return make_layout(*modes)
+
+
+def raked_product(layout_a: Layout, layout_b: Layout) -> Layout:
+    """Interleaved ("raked") product: replicas of ``layout_a`` interleaved at
+    the granularity of single elements along each dimension."""
+    rank = max(layout_a.rank(), layout_b.rank())
+    padded_a = _pad_rank(layout_a, rank)
+    padded_b = _pad_rank(layout_b, rank)
+    prod = logical_product(padded_a, padded_b)
+    modes = []
+    for i in range(rank):
+        modes.append(coalesce(make_layout(prod[1][i], prod[0][i])))
+    return make_layout(*modes)
+
+
+def _pad_rank(layout: Layout, rank: int) -> Layout:
+    modes = [layout[i] for i in range(layout.rank())]
+    while len(modes) < rank:
+        modes.append(Layout(1, 0))
+    return make_layout(*modes)
+
+
+# --------------------------------------------------------------------------- #
+# Partitioning helpers
+# --------------------------------------------------------------------------- #
+def local_partition(layout: Layout, tile: Layout, index: int) -> Layout:
+    """The sub-layout owned by participant ``index`` under ``tile``.
+
+    ``tile`` distributes participants over the layout (e.g. a thread layout
+    over a data tile); the result is the layout of the data seen by one
+    participant.
+    """
+    divided = zipped_divide(layout, tuple(Layout(s) for s in flatten(tile.shape)))
+    # Mode 0 enumerates positions inside one tile of `tile.shape`; compose
+    # with `tile` to pick this participant's element of every tile.
+    inner = divided[0]
+    rest = divided[1]
+    offset = composition(inner, tile)(index)
+    return Layout(rest.shape, rest.stride), offset
+
+
+def local_tile(layout: Layout, tile_shape: Sequence[int], tile_coord: Sequence[int]):
+    """The sub-layout and offset of the tile at ``tile_coord`` for a layout
+    partitioned into tiles of ``tile_shape``."""
+    tiler = tuple(Layout(int(s)) for s in tile_shape)
+    divided = zipped_divide(layout, tiler)
+    inner, rest = divided[0], divided[1]
+    offset = rest(tuple(int(c) for c in tile_coord))
+    return inner, offset

@@ -1,0 +1,303 @@
+"""The CuTe ``Layout`` abstraction: hierarchical shape/stride mapping functions.
+
+A layout ``L = shape : stride`` is a function from the integers
+``[0, size(shape))`` (or equivalently from hierarchical coordinates of
+``shape``) to integers, computed as the inner product of the coordinate with
+the strides.  Layouts describe how tensors are arranged in memory (shared
+memory layouts) and how register tensors are distributed across threads
+(thread-value layouts, see :mod:`repro.layout.tv`).
+
+The class below mirrors CuTe's semantics (and the ``pycute`` reference
+implementation) restricted to non-negative strides.  The algebraic
+operations — coalesce, composition, complement, inverse, logical
+divide/product — live in :mod:`repro.layout.algebra`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Union
+
+from repro.utils.inttuple import (
+    IntTuple,
+    congruent,
+    crd2idx,
+    flatten,
+    idx2crd,
+    is_int,
+    is_tuple,
+    prefix_product,
+    product,
+    unflatten_like,
+    validate,
+)
+
+__all__ = [
+    "Layout",
+    "make_layout",
+    "make_ordered_layout",
+    "row_major",
+    "column_major",
+    "is_layout",
+]
+
+
+class Layout:
+    """A hierarchical shape:stride layout function.
+
+    Parameters
+    ----------
+    shape:
+        An IntTuple giving the extent of each mode.
+    stride:
+        An IntTuple congruent with ``shape`` giving the stride of each mode.
+        If omitted, the compact column-major strides of ``shape`` are used.
+    """
+
+    __slots__ = ("shape", "stride")
+
+    def __init__(self, shape: IntTuple, stride: IntTuple | None = None):
+        validate(shape)
+        if stride is None:
+            stride = prefix_product(shape)
+        else:
+            validate(stride)
+        if not congruent(shape, stride):
+            raise ValueError(
+                f"layout shape {shape!r} and stride {stride!r} are not congruent"
+            )
+        self.shape = shape
+        self.stride = stride
+
+    # ------------------------------------------------------------------ #
+    # Basic queries
+    # ------------------------------------------------------------------ #
+    def size(self) -> int:
+        """Size of the domain (number of coordinates)."""
+        return product(self.shape)
+
+    def cosize(self) -> int:
+        """One past the largest index produced by the layout.
+
+        For an empty domain the cosize is 0; otherwise it is
+        ``L(size - 1) + 1`` because the largest coordinate in every mode
+        maximises the inner product when strides are non-negative.
+        """
+        if self.size() == 0:
+            return 0
+        return self(self.size() - 1) + 1
+
+    def rank(self) -> int:
+        """Number of top-level modes."""
+        if is_tuple(self.shape):
+            return len(self.shape)
+        return 1
+
+    def depth(self) -> int:
+        from repro.utils.inttuple import depth as _depth
+
+        return _depth(self.shape)
+
+    def flat_shape(self) -> tuple[int, ...]:
+        return flatten(self.shape)
+
+    def flat_stride(self) -> tuple[int, ...]:
+        return flatten(self.stride)
+
+    # ------------------------------------------------------------------ #
+    # Mode access
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.rank()
+
+    def __getitem__(self, index) -> "Layout":
+        """Return the sub-layout (mode) at ``index``."""
+        if isinstance(index, slice):
+            if not is_tuple(self.shape):
+                raise IndexError("cannot slice a rank-1 integral layout")
+            shapes = self.shape[index]
+            strides = self.stride[index]
+            return Layout(tuple(shapes), tuple(strides))
+        if is_tuple(self.shape):
+            return Layout(self.shape[index], self.stride[index])
+        if index not in (0, -1):
+            raise IndexError(f"layout mode index {index} out of range for rank 1")
+        return Layout(self.shape, self.stride)
+
+    def modes(self) -> Iterator["Layout"]:
+        """Iterate over the top-level modes as layouts."""
+        for i in range(self.rank()):
+            yield self[i]
+
+    # ------------------------------------------------------------------ #
+    # Function evaluation
+    # ------------------------------------------------------------------ #
+    def __call__(self, *coord) -> int:
+        """Evaluate the layout at a coordinate.
+
+        The coordinate may be a single linear index, a single hierarchical
+        coordinate, or one coordinate per top-level mode.
+        """
+        if len(coord) == 0:
+            raise TypeError("layout call requires at least one coordinate")
+        if len(coord) == 1:
+            crd = coord[0]
+        else:
+            crd = tuple(coord)
+        return crd2idx(crd, self.shape, self.stride)
+
+    def coordinate(self, idx: int) -> IntTuple:
+        """Convert a linear domain index to a hierarchical coordinate."""
+        return idx2crd(idx, self.shape)
+
+    def all_indices(self) -> list[int]:
+        """The image of the layout enumerated over its whole domain."""
+        return [self(i) for i in range(self.size())]
+
+    def is_injective(self) -> bool:
+        """Whether distinct coordinates map to distinct indices."""
+        image = self.all_indices()
+        return len(set(image)) == len(image)
+
+    def is_compact(self) -> bool:
+        """Whether the layout is a bijection onto ``[0, size)``."""
+        return self.is_injective() and self.cosize() == self.size()
+
+    # ------------------------------------------------------------------ #
+    # Structural helpers
+    # ------------------------------------------------------------------ #
+    def flatten(self) -> "Layout":
+        """A rank-``n`` layout with every leaf mode promoted to the top."""
+        return Layout(flatten(self.shape), flatten(self.stride))
+
+    def with_shape(self, new_shape: IntTuple) -> "Layout":
+        """Reinterpret the flat strides with a new (congruently sized) shape."""
+        if product(new_shape) != self.size():
+            raise ValueError(
+                f"with_shape: new shape {new_shape} has size {product(new_shape)}, "
+                f"expected {self.size()}"
+            )
+        flat = self.flatten()
+        # Only legal when the new shape refines the flat modes in order.
+        return composed_reshape(flat, new_shape)
+
+    def append(self, other: "Layout") -> "Layout":
+        """Concatenate ``other`` as an extra top-level mode."""
+        return make_layout(self, other)
+
+    # ------------------------------------------------------------------ #
+    # Dunder plumbing
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Layout):
+            return NotImplemented
+        return self.shape == other.shape and self.stride == other.stride
+
+    def __hash__(self) -> int:
+        return hash((self.shape, self.stride))
+
+    def __repr__(self) -> str:
+        return f"{_fmt(self.shape)}:{_fmt(self.stride)}"
+
+
+def _fmt(value: IntTuple) -> str:
+    if is_int(value):
+        return str(value)
+    return "(" + ",".join(_fmt(item) for item in value) + ")"
+
+
+def is_layout(value) -> bool:
+    """Return True if ``value`` is a :class:`Layout`."""
+    return isinstance(value, Layout)
+
+
+def make_layout(*layouts: Union[Layout, int]) -> Layout:
+    """Build a layout by concatenating layouts (or integers) as modes.
+
+    ``make_layout(a, b)`` produces the layout ``(a, b)`` whose first mode is
+    ``a`` and second mode is ``b``.  A single argument is returned as-is
+    (after promotion of plain integers).
+    """
+    promoted = [Layout(l) if isinstance(l, int) else l for l in layouts]
+    for layout in promoted:
+        if not isinstance(layout, Layout):
+            raise TypeError(f"make_layout expects Layouts or ints, got {layout!r}")
+    if len(promoted) == 1:
+        return promoted[0]
+    return Layout(
+        tuple(l.shape for l in promoted),
+        tuple(l.stride for l in promoted),
+    )
+
+
+def row_major(shape: Sequence[int]) -> Layout:
+    """A generalized row-major (C order) layout for a flat shape."""
+    shape = tuple(int(s) for s in shape)
+    strides = []
+    running = 1
+    for extent in reversed(shape):
+        strides.append(running)
+        running *= extent
+    return Layout(shape, tuple(reversed(strides)))
+
+
+def column_major(shape: Sequence[int]) -> Layout:
+    """A generalized column-major (Fortran order) layout for a flat shape."""
+    shape = tuple(int(s) for s in shape)
+    return Layout(shape, prefix_product(shape))
+
+
+def make_ordered_layout(shape: Sequence[int], order: Sequence[int]) -> Layout:
+    """A layout over ``shape`` whose strides follow ``order``.
+
+    ``order[i]`` gives the priority of dimension ``i``: the dimension with
+    order 0 is contiguous (stride 1), the dimension with the next-larger
+    order has stride equal to the first dimension's extent, and so on.
+    """
+    shape = tuple(int(s) for s in shape)
+    order = tuple(int(o) for o in order)
+    if len(shape) != len(order):
+        raise ValueError("make_ordered_layout: shape and order must have equal length")
+    if sorted(order) != list(range(len(order))):
+        raise ValueError(f"make_ordered_layout: order {order} is not a permutation")
+    strides = [0] * len(shape)
+    running = 1
+    for priority in range(len(shape)):
+        dim = order.index(priority)
+        strides[dim] = running
+        running *= shape[dim]
+    return Layout(shape, tuple(strides))
+
+
+def composed_reshape(flat_layout: Layout, new_shape: IntTuple) -> Layout:
+    """Reinterpret a flat layout's domain with ``new_shape``.
+
+    The flat modes are split/merged so that the resulting layout, evaluated
+    colexicographically over ``new_shape``, agrees with ``flat_layout``
+    evaluated over its own domain.  Raises if the reshape would require
+    non-affine strides.
+    """
+    flat_shapes = list(flat_layout.flat_shape())
+    flat_strides = list(flat_layout.flat_stride())
+    target_leaves = flatten(new_shape)
+
+    result_strides: list[int] = []
+    mode_index = 0
+    remaining_in_mode = flat_shapes[0] if flat_shapes else 1
+    current_stride = flat_strides[0] if flat_strides else 0
+    for leaf in target_leaves:
+        if leaf == 1:
+            result_strides.append(0)
+            continue
+        if remaining_in_mode == 1 and mode_index + 1 < len(flat_shapes):
+            mode_index += 1
+            remaining_in_mode = flat_shapes[mode_index]
+            current_stride = flat_strides[mode_index]
+        if remaining_in_mode % leaf != 0:
+            raise ValueError(
+                f"cannot reshape layout {flat_layout} to shape {new_shape}: "
+                f"leaf {leaf} does not divide remaining extent {remaining_in_mode}"
+            )
+        result_strides.append(current_stride)
+        current_stride *= leaf
+        remaining_in_mode //= leaf
+    return Layout(new_shape, unflatten_like(result_strides, new_shape))

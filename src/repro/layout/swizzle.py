@@ -1,0 +1,132 @@
+"""Swizzle functions for shared-memory bank-conflict avoidance.
+
+Hexcute (following CuTe) represents a shared-memory layout as the composition
+``M = S ∘ m`` of a base memory layout ``m`` (synthesized by unification, see
+:mod:`repro.synthesis.smem_solver`) with a *swizzle* ``S`` that permutes
+addresses to spread accesses across the 32 shared-memory banks.
+
+``Swizzle(bits, base, shift)`` is CuTe's generic XOR swizzle: a group of
+``bits`` address bits located ``shift`` positions above the ``base`` bits is
+XOR-ed into the ``bits`` bits directly above ``base``:
+
+    y = x XOR ((x & mask_hi) >> shift)
+
+The swizzle is an involution on ``[0, 2^(base+bits+shift))`` extended
+periodically, so it never changes *which* elements a layout addresses —
+only their order — making it safe to apply after the base layout is fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.layout.layout import Layout
+
+__all__ = ["Swizzle", "ComposedLayout", "candidate_swizzles"]
+
+
+@dataclass(frozen=True)
+class Swizzle:
+    """CuTe's ``Swizzle<B, M, S>`` XOR address permutation.
+
+    Parameters
+    ----------
+    bits:
+        Number of bits participating in the XOR (``B``); ``2**bits`` rows
+        get distinct permutations.
+    base:
+        Number of low-order bits left untouched (``M``); ``2**base``
+        elements move together (the vector granularity).
+    shift:
+        Distance between the source and destination bit groups (``S``).
+    """
+
+    bits: int
+    base: int
+    shift: int
+
+    def __post_init__(self):
+        if self.bits < 0 or self.base < 0:
+            raise ValueError(f"invalid swizzle parameters {self}")
+        if self.shift < self.bits:
+            raise ValueError(
+                f"swizzle shift ({self.shift}) must be >= bits ({self.bits})"
+            )
+
+    def __call__(self, index: int) -> int:
+        if self.bits == 0:
+            return index
+        mask = (1 << self.bits) - 1
+        hi = (index >> (self.base + self.shift)) & mask
+        return index ^ (hi << self.base)
+
+    def period(self) -> int:
+        """Size of the address window the swizzle permutes within."""
+        return 1 << (self.base + self.shift + self.bits)
+
+    def is_identity(self) -> bool:
+        return self.bits == 0
+
+    def __repr__(self) -> str:
+        return f"Swizzle<{self.bits},{self.base},{self.shift}>"
+
+
+@dataclass(frozen=True)
+class ComposedLayout:
+    """A shared-memory layout ``swizzle ∘ base``: evaluate the base layout,
+    then permute the resulting address with the swizzle."""
+
+    swizzle: Swizzle
+    base: Layout
+
+    def __call__(self, *coord) -> int:
+        return self.swizzle(self.base(*coord))
+
+    def size(self) -> int:
+        return self.base.size()
+
+    def cosize(self) -> int:
+        # The swizzle is a permutation of a power-of-two window; it cannot
+        # increase the maximum address beyond the next power-of-two
+        # boundary, but for reporting we use the base cosize which is what
+        # determines the allocation size.
+        return self.base.cosize()
+
+    def all_indices(self) -> list[int]:
+        return [self(i) for i in range(self.size())]
+
+    def is_injective(self) -> bool:
+        image = self.all_indices()
+        return len(set(image)) == len(image)
+
+    def __repr__(self) -> str:
+        return f"{self.swizzle} o {self.base}"
+
+
+def candidate_swizzles(element_bits: int, row_bytes: int) -> list[Swizzle]:
+    """Enumerate the swizzles worth trying for a shared-memory buffer.
+
+    ``element_bits`` is the storage width of one element and ``row_bytes``
+    the byte length of one contiguous row of the base layout; the candidates
+    mirror the canonical CUTLASS shared-memory atoms (none, 32 B, 64 B and
+    128 B swizzles) expressed at element granularity.
+    """
+    candidates = [Swizzle(0, 0, 0)]
+    element_bytes = max(1, element_bits // 8)
+    # The base covers one 16-byte vector worth of elements (128-bit accesses).
+    vector_elems = max(1, 16 // element_bytes)
+    base = max(0, vector_elems.bit_length() - 1)
+    for bits in (1, 2, 3):
+        span_bytes = (1 << (base + bits)) * element_bytes * (1 << bits)
+        if row_bytes and span_bytes > max(row_bytes, 16) * 8:
+            continue
+        candidates.append(Swizzle(bits, base, bits))
+        candidates.append(Swizzle(bits, base, 3))
+    # Deduplicate while preserving order.
+    seen = set()
+    unique = []
+    for sw in candidates:
+        if sw not in seen:
+            seen.add(sw)
+            unique.append(sw)
+    return unique

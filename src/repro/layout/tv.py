@@ -1,0 +1,242 @@
+"""Thread-value (TV) layouts: the distribution of register tensors over threads.
+
+A register tile of logical shape ``(d0, d1, ...)`` is distributed across the
+threads of a thread block; each thread holds a small local array.  The
+distribution is a function ``f : (tid, vid) -> coordinate`` mapping a thread
+index and a local-array index to a position in the tile (Fig. 1 of the
+paper).  Hexcute represents ``f`` with a CuTe layout with two top-level
+modes — the *thread mode* and the *value mode* — whose codomain is the
+colexicographic linearisation of the tile.
+
+The same representation models the semantics of collective instructions
+(``ldmatrix``, ``mma``…): each instruction operand has a TV layout over the
+instruction's own tile, and layout synthesis relates operation-level and
+instruction-level TV layouts through composition with inverses
+(Section IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.layout.algebra import coalesce, composition, right_inverse
+from repro.layout.layout import Layout, make_layout
+from repro.utils.inttuple import (
+    IntTuple,
+    flatten,
+    idx2crd,
+    is_tuple,
+    prefix_product,
+    product,
+    unflatten_like,
+)
+
+__all__ = ["TVLayout", "rebase_strides", "make_tv_layout"]
+
+
+def rebase_strides(layout: Layout, old_tile: Sequence[int], new_tile: Sequence[int]) -> Layout:
+    """Re-express a layout's strides from one tile's colex space to another's.
+
+    Every stride ``d`` is decomposed into per-dimension steps of the
+    ``old_tile`` (column-major) and recomposed with the column-major strides
+    of ``new_tile``.  The old tile must fit inside the new tile
+    dimension-wise.
+    """
+    old_tile = tuple(int(x) for x in old_tile)
+    new_tile = tuple(int(x) for x in new_tile)
+    if len(old_tile) != len(new_tile):
+        raise ValueError(
+            f"rebase_strides: tiles {old_tile} and {new_tile} have different ranks"
+        )
+    for old_dim, new_dim in zip(old_tile, new_tile):
+        if old_dim > new_dim:
+            raise ValueError(
+                f"rebase_strides: old tile {old_tile} does not fit in {new_tile}"
+            )
+    new_strides = flatten(prefix_product(new_tile))
+
+    def convert(stride: int) -> int:
+        steps = idx2crd(stride, old_tile)
+        if not is_tuple(steps):
+            steps = (steps,)
+        return sum(int(s) * int(d) for s, d in zip(steps, new_strides))
+
+    flat = flatten(layout.stride)
+    converted = tuple(convert(d) for d in flat)
+    return Layout(layout.shape, unflatten_like(converted, layout.stride))
+
+
+@dataclass(frozen=True)
+class TVLayout:
+    """A thread-value layout over a logical tile.
+
+    Attributes
+    ----------
+    layout:
+        A :class:`Layout` with exactly two top-level modes, ``(thread,
+        value)``, whose codomain is the colexicographic linearisation of
+        ``tile_shape``.
+    tile_shape:
+        The logical shape of the tile being distributed.
+    """
+
+    layout: Layout
+    tile_shape: Tuple[int, ...]
+
+    def __post_init__(self):
+        if self.layout.rank() != 2:
+            raise ValueError(
+                f"a TV layout needs (thread, value) modes, got rank {self.layout.rank()}"
+            )
+        object.__setattr__(self, "tile_shape", tuple(int(x) for x in self.tile_shape))
+
+    # ------------------------------------------------------------------ #
+    # Basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def thread_layout(self) -> Layout:
+        return self.layout[0]
+
+    @property
+    def value_layout(self) -> Layout:
+        return self.layout[1]
+
+    @property
+    def num_threads(self) -> int:
+        return self.thread_layout.size()
+
+    @property
+    def values_per_thread(self) -> int:
+        return self.value_layout.size()
+
+    def tile_size(self) -> int:
+        return product(self.tile_shape)
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def __call__(self, tid: int, vid: int) -> int:
+        """Linear (colex) index within the tile held by ``(tid, vid)``."""
+        return self.layout((tid, vid))
+
+    def coords(self, tid: int, vid: int) -> Tuple[int, ...]:
+        """N-dimensional tile coordinate held by ``(tid, vid)``."""
+        crd = idx2crd(self(tid, vid), self.tile_shape)
+        if not is_tuple(crd):
+            crd = (crd,)
+        return tuple(crd)
+
+    def owner_of(self, coords: Sequence[int]) -> Tuple[int, int]:
+        """Return some ``(tid, vid)`` pair holding the element at ``coords``.
+
+        Raises ``KeyError`` if the coordinate is not covered by the layout.
+        """
+        target = sum(
+            int(c) * int(d)
+            for c, d in zip(coords, flatten(prefix_product(self.tile_shape)))
+        )
+        for tid in range(self.num_threads):
+            for vid in range(self.values_per_thread):
+                if self(tid, vid) == target:
+                    return tid, vid
+        raise KeyError(f"coordinate {tuple(coords)} is not covered by {self}")
+
+    def covers_tile(self) -> bool:
+        """Whether every tile element is held by exactly one (tid, vid)."""
+        seen = set()
+        for tid in range(self.num_threads):
+            for vid in range(self.values_per_thread):
+                seen.add(self(tid, vid))
+        return len(seen) == self.tile_size() and (
+            self.num_threads * self.values_per_thread == self.tile_size()
+        )
+
+    def is_replicated(self) -> bool:
+        """Whether some elements are held by more than one thread
+        (broadcast distributions have stride-0 thread modes)."""
+        return 0 in flatten(self.thread_layout.stride) and self.num_threads > 1
+
+    # ------------------------------------------------------------------ #
+    # Algebra
+    # ------------------------------------------------------------------ #
+    def to_layout(self) -> Layout:
+        return self.layout
+
+    def inverse(self) -> Layout:
+        """Right inverse of the underlying layout: tile index -> (t, v) index."""
+        return right_inverse(self.layout)
+
+    def composite_onto(self, instruction: "TVLayout") -> Layout:
+        """The composite ``self ∘ instruction⁻¹``.
+
+        Maps an index within the *instruction* tile to the index within this
+        layout's tile that the same ``(tid, vid)`` pair touches — the
+        function the copy/gemm constraints of Section IV-A reason about.
+        """
+        return coalesce(composition(self.layout, instruction.inverse()))
+
+    def equivalent(self, other: "TVLayout") -> bool:
+        """Function-level equality over the common (thread, value) domain."""
+        if self.tile_shape != other.tile_shape:
+            return False
+        if self.num_threads != other.num_threads:
+            return False
+        if self.values_per_thread != other.values_per_thread:
+            return False
+        return all(
+            self(t, v) == other(t, v)
+            for t in range(self.num_threads)
+            for v in range(self.values_per_thread)
+        )
+
+    def rebase(self, new_tile: Sequence[int]) -> "TVLayout":
+        """Re-express this layout over a larger tile (same distribution,
+        anchored at the tile origin)."""
+        return TVLayout(
+            rebase_strides(self.layout, self.tile_shape, new_tile),
+            tuple(int(x) for x in new_tile),
+        )
+
+    def with_threads(self, num_threads: int) -> "TVLayout":
+        """Broadcast this layout to a larger thread count by appending a
+        replicated (stride-0) thread mode."""
+        if num_threads % self.num_threads != 0:
+            raise ValueError(
+                f"{num_threads} threads is not a multiple of {self.num_threads}"
+            )
+        replicas = num_threads // self.num_threads
+        if replicas == 1:
+            return self
+        thread = make_layout(self.thread_layout, Layout(replicas, 0))
+        return TVLayout(make_layout(thread, self.value_layout), self.tile_shape)
+
+    def projected(self, dim: int) -> dict[tuple[int, int], int]:
+        """The restriction of the mapping to a single tile dimension.
+
+        Returns ``{(tid, vid): coordinate_along_dim}`` — used to check the
+        dimension-wise gemm constraints (Fig. 19 b).
+        """
+        return {
+            (t, v): self.coords(t, v)[dim]
+            for t in range(self.num_threads)
+            for v in range(self.values_per_thread)
+        }
+
+    def bytes_per_thread(self, element_bits: int) -> int:
+        return self.values_per_thread * element_bits // 8
+
+    def __repr__(self) -> str:
+        return f"TV[{self.layout} over tile {self.tile_shape}]"
+
+
+def make_tv_layout(
+    tile_shape: Sequence[int],
+    thread_shape: IntTuple,
+    thread_stride: IntTuple,
+    value_shape: IntTuple,
+    value_stride: IntTuple,
+) -> TVLayout:
+    """Convenience constructor from explicit thread/value shape-stride pairs."""
+    layout = Layout((thread_shape, value_shape), (thread_stride, value_stride))
+    return TVLayout(layout, tuple(int(x) for x in tile_shape))

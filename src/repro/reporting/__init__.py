@@ -1,0 +1,5 @@
+"""Shared table/figure formatting for the benchmark harness."""
+
+from repro.reporting.tables import TableRow, format_table, geometric_mean, format_series
+
+__all__ = ["TableRow", "format_table", "geometric_mean", "format_series"]

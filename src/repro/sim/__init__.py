@@ -1,0 +1,25 @@
+"""The simulated GPU substrate standing in for real A100/H100 hardware:
+architecture specs, the kernel timing model and the functional executor."""
+
+from repro.sim.arch import GpuArch, A100, H100, get_arch
+from repro.sim.timing import (
+    KernelTiming,
+    estimate_kernel_latency,
+    dram_traffic_bytes,
+    total_flops,
+)
+from repro.sim.executor import ExecutionError, FunctionalExecutor, run_kernel
+
+__all__ = [
+    "GpuArch",
+    "A100",
+    "H100",
+    "get_arch",
+    "KernelTiming",
+    "estimate_kernel_latency",
+    "dram_traffic_bytes",
+    "total_flops",
+    "ExecutionError",
+    "FunctionalExecutor",
+    "run_kernel",
+]

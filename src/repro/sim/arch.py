@@ -1,0 +1,111 @@
+"""Simulated GPU architecture specifications.
+
+The paper evaluates on NVIDIA A100 (PCIe, 80 GB) and H100 (PCIe/SXM, 80 GB)
+GPUs with the core clock locked to 1.41 GHz for reproducibility.  Since no
+GPU is available in this environment, these dataclasses capture the
+published characteristics that the analytical timing model needs: SM count,
+clock, DRAM bandwidth, shared-memory capacity, Tensor Core throughput and
+kernel-launch overhead.  The numbers set the absolute scale of simulated
+latencies; the paper's comparisons (Hexcute vs Triton vs libraries) depend
+on relative instruction efficiency, which the cost model captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["GpuArch", "A100", "H100", "get_arch"]
+
+
+@dataclass(frozen=True)
+class GpuArch:
+    """Architecture parameters of one GPU."""
+
+    name: str
+    sm_arch: int
+    num_sms: int
+    clock_ghz: float
+    dram_bandwidth_gbps: float
+    l2_bandwidth_gbps: float
+    shared_mem_per_sm_kb: int
+    registers_per_sm: int
+    max_threads_per_sm: int
+    fp16_tensor_tflops: float
+    fp8_tensor_tflops: float
+    fp32_tflops: float
+    kernel_launch_us: float = 4.0
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_ghz * 1e9
+
+    def cycles_to_us(self, cycles: float) -> float:
+        return cycles / self.clock_hz * 1e6
+
+    def peak_tensor_tflops(self, dtype_bits: int) -> float:
+        if dtype_bits <= 8:
+            return self.fp8_tensor_tflops
+        return self.fp16_tensor_tflops
+
+    def max_ctas_per_sm(self, threads_per_cta: int, smem_bytes_per_cta: float) -> int:
+        """Occupancy bound from threads and shared-memory usage."""
+        by_threads = max(1, self.max_threads_per_sm // max(threads_per_cta, 32))
+        smem_limit = self.shared_mem_per_sm_kb * 1024
+        by_smem = (
+            max(1, int(smem_limit // smem_bytes_per_cta)) if smem_bytes_per_cta > 0 else 32
+        )
+        return max(1, min(by_threads, by_smem, 32))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+A100 = GpuArch(
+    name="A100-PCIe-80GB",
+    sm_arch=80,
+    num_sms=108,
+    clock_ghz=1.41,
+    dram_bandwidth_gbps=1935.0,
+    l2_bandwidth_gbps=4000.0,
+    shared_mem_per_sm_kb=164,
+    registers_per_sm=65536,
+    max_threads_per_sm=2048,
+    fp16_tensor_tflops=312.0,
+    fp8_tensor_tflops=312.0,  # no FP8 tensor cores on Ampere; falls back to FP16 rate
+    fp32_tflops=19.5,
+)
+
+H100 = GpuArch(
+    name="H100-PCIe-80GB",
+    sm_arch=90,
+    num_sms=114,
+    clock_ghz=1.41,  # locked per the paper's methodology
+    dram_bandwidth_gbps=2000.0,
+    l2_bandwidth_gbps=5500.0,
+    shared_mem_per_sm_kb=228,
+    registers_per_sm=65536,
+    max_threads_per_sm=2048,
+    fp16_tensor_tflops=756.0,
+    fp8_tensor_tflops=1513.0,
+    fp32_tflops=51.0,
+)
+
+_ARCHS: Dict[str, GpuArch] = {
+    "a100": A100,
+    "h100": H100,
+    "80": A100,
+    "90": H100,
+}
+
+
+def get_arch(spec) -> GpuArch:
+    """Resolve an architecture from a :class:`GpuArch`, name, or SM number."""
+    if isinstance(spec, GpuArch):
+        return spec
+    key = str(spec).lower()
+    if key.startswith("sm_"):
+        key = key[3:]
+    if key in _ARCHS:
+        return _ARCHS[key]
+    raise KeyError(f"unknown GPU architecture {spec!r} (expected a100/h100/80/90)")

@@ -1,0 +1,65 @@
+"""Layout synthesis: thread-value layouts (Algorithm 1), shared-memory
+layouts (Section V), instruction selection (Section IV-B) and the analytical
+cost model (Section VI)."""
+
+from repro.synthesis.tiling import (
+    TiledMma,
+    make_tiled_mma,
+    coalesced_copy_tv,
+    value_vector_run,
+    reduce_tv_layout,
+    pick_warp_grid,
+)
+from repro.synthesis.tv_constraints import (
+    check_copy_constraint,
+    check_gemm_constraint,
+    check_elementwise_constraint,
+    check_reduce_constraint,
+    constraint_for,
+)
+from repro.synthesis.tv_solver import (
+    TVSynthesisError,
+    TVSolution,
+    ThreadValueSolver,
+    synthesize_tv_layouts,
+)
+from repro.synthesis.smem_solver import (
+    CopyAccess,
+    SmemPlan,
+    SmemSynthesisError,
+    bank_conflict_factor,
+    copy_access_for,
+    synthesize_smem_layout,
+)
+from repro.synthesis.cost_model import AnalyticalCostModel, CostBreakdown, OperationCost
+from repro.synthesis.search import Candidate, InstructionSelector, SelectionError
+
+__all__ = [
+    "TiledMma",
+    "make_tiled_mma",
+    "coalesced_copy_tv",
+    "value_vector_run",
+    "reduce_tv_layout",
+    "pick_warp_grid",
+    "check_copy_constraint",
+    "check_gemm_constraint",
+    "check_elementwise_constraint",
+    "check_reduce_constraint",
+    "constraint_for",
+    "TVSynthesisError",
+    "TVSolution",
+    "ThreadValueSolver",
+    "synthesize_tv_layouts",
+    "CopyAccess",
+    "SmemPlan",
+    "SmemSynthesisError",
+    "bank_conflict_factor",
+    "copy_access_for",
+    "synthesize_smem_layout",
+    "AnalyticalCostModel",
+    "CostBreakdown",
+    "OperationCost",
+    "Candidate",
+    "InstructionSelector",
+    "SelectionError",
+]

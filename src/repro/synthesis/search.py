@@ -1,0 +1,322 @@
+"""Instruction selection via DFS over the layout-propagation search tree.
+
+When several instructions can implement a copy, Hexcute expands the choice
+into a search tree whose leaves are candidate programs (Section IV-B,
+"Expanding Search Tree").  Each leaf fixes one instruction per copy; the
+shared-memory solver then synthesizes buffer layouts for that leaf, invalid
+leaves (unsatisfiable layout constraints) are discarded, and the analytical
+cost model ranks the valid ones.  The all-scalar leaf is always valid, so
+compilation never fails for want of a layout.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.instructions.instruction import MemoryInstruction
+from repro.instructions.registry import InstructionSet
+from repro.ir.graph import KernelProgram
+from repro.ir.ops import Copy
+from repro.ir.tensor import Scope, TileTensor
+from repro.layout.layout import Layout
+from repro.synthesis.cost_model import AnalyticalCostModel, CostBreakdown
+from repro.synthesis.smem_solver import (
+    CopyAccess,
+    SmemPlan,
+    SmemSynthesisError,
+    copy_access_for,
+    synthesize_smem_layout,
+)
+from repro.synthesis.tiling import value_vector_run
+from repro.synthesis.tv_solver import TVSolution
+from repro.utils.inttuple import flatten
+
+__all__ = ["Candidate", "InstructionSelector", "SelectionError"]
+
+
+class SelectionError(Exception):
+    """Raised when no valid candidate program exists (should not happen:
+    the scalar fallback is always valid)."""
+
+
+@dataclass
+class Candidate:
+    """One leaf of the search tree: a full instruction assignment."""
+
+    assignment: Dict[int, MemoryInstruction]
+    smem_plans: Dict[TileTensor, SmemPlan] = field(default_factory=dict)
+    conflict_factors: Dict[int, float] = field(default_factory=dict)
+    cost: Optional[CostBreakdown] = None
+
+    @property
+    def total_cycles(self) -> float:
+        return self.cost.total_cycles if self.cost else float("inf")
+
+    def instruction_for(self, copy: Copy) -> MemoryInstruction:
+        return self.assignment[copy.op_id]
+
+    def bytes_per_instruction(self) -> Dict[str, int]:
+        """Per-copy ``direction -> vector bytes`` summary (Tables III / IV)."""
+        result: Dict[str, int] = {}
+        for op_id, instr in self.assignment.items():
+            result[str(op_id)] = instr.vector_bytes
+        return result
+
+
+class InstructionSelector:
+    """Enumerates, validates and ranks candidate programs."""
+
+    def __init__(
+        self,
+        program: KernelProgram,
+        tv_solution: TVSolution,
+        instructions: InstructionSet,
+        max_candidates: int = 256,
+        max_choices_per_copy: int = 3,
+        copy_width_cap=None,
+    ):
+        self.program = program
+        self.tv_solution = tv_solution
+        self.instructions = instructions
+        self.max_candidates = max_candidates
+        self.max_choices_per_copy = max_choices_per_copy
+        # Optional hook: copy -> max vector bytes (or None).  Used by the
+        # baselines/ablations to emulate compilers whose layout systems fall
+        # back to narrow accesses on specific tensors.
+        self.copy_width_cap = copy_width_cap
+        self.candidates_explored = 0
+
+    # ------------------------------------------------------------------ #
+    # Per-copy candidate instructions
+    # ------------------------------------------------------------------ #
+    def candidate_instructions(self, copy: Copy) -> List[MemoryInstruction]:
+        """Valid instructions for one copy, best (widest) first."""
+        cap = self.copy_width_cap(copy) if self.copy_width_cap is not None else None
+        menu = self.instructions.copies(
+            copy.src.scope, copy.dst.scope, max_vector_bytes=cap
+        )
+        reg = copy.register_operand()
+        reg_tv = reg.tv_layout if reg is not None else None
+        dtype = copy.src.dtype
+        valid: List[MemoryInstruction] = []
+        for instr in menu:
+            if instr.collective:
+                if not self._collective_valid(copy, instr):
+                    continue
+            elif instr.single_thread:
+                if copy.dst.scope is not Scope.SHARED:
+                    continue
+            else:
+                if not self._vector_valid(copy, instr, reg_tv):
+                    continue
+            valid.append(instr)
+        if not valid:
+            valid.append(self.instructions.scalar_copy(copy.src.scope, copy.dst.scope))
+        # Keep the scalar fallback reachable even after truncation.
+        truncated = valid[: self.max_choices_per_copy]
+        scalar = self.instructions.scalar_copy(copy.src.scope, copy.dst.scope)
+        if scalar not in truncated:
+            truncated.append(scalar)
+        return truncated
+
+    def _collective_valid(self, copy: Copy, instr: MemoryInstruction) -> bool:
+        """ldmatrix/stmatrix validity: 16-bit data feeding a Tensor Core
+        operand whose register distribution matches the instruction fragment."""
+        reg = copy.register_operand()
+        if reg is None or reg.dtype.bits != 16:
+            return False
+        if reg not in self.tv_solution.mma_operands:
+            return False
+        if instr.name.startswith("ldmatrix") and not (
+            copy.src.is_shared and copy.dst.is_register
+        ):
+            return False
+        if instr.name.startswith("stmatrix") and not (
+            copy.src.is_register and copy.dst.is_shared
+        ):
+            return False
+        return True
+
+    def _vector_valid(
+        self, copy: Copy, instr: MemoryInstruction, reg_tv
+    ) -> bool:
+        dtype = copy.src.dtype
+        elems = instr.elements_per_thread(dtype)
+        if elems * dtype.bits < 8:
+            return False
+        if reg_tv is not None:
+            run_dim, run = value_vector_run(reg_tv)
+            if elems > 1 and (run < elems or run % elems != 0):
+                return False
+            contiguous_dim = run_dim
+        else:
+            contiguous_dim = None
+        # Global operands have user-fixed layouts: the vector must follow a
+        # stride-1 dimension with a divisible extent.
+        for tensor in (copy.src, copy.dst):
+            if tensor.is_global and elems > 1:
+                if not self._global_supports_vector(tensor, elems, contiguous_dim):
+                    return False
+        return True
+
+    def _global_supports_vector(
+        self, tensor: TileTensor, elems: int, contiguous_dim: Optional[int]
+    ) -> bool:
+        layout = tensor.layout
+        if layout is None:
+            return False
+        dims = range(tensor.rank) if contiguous_dim is None else [contiguous_dim]
+        for dim in dims:
+            mode = layout[dim]
+            strides = flatten(mode.stride)
+            shapes = flatten(mode.shape)
+            if 1 in strides:
+                extent = shapes[strides.index(1)]
+                if extent % elems == 0:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def enumerate_assignments(self) -> Iterator[Dict[int, MemoryInstruction]]:
+        """DFS over per-copy choices, biggest copies first, best-first within
+        each copy, capped at ``max_candidates`` leaves."""
+        copies = sorted(
+            self.program.copies(), key=lambda c: -(c.moves_bytes() * c.trips)
+        )
+        menus = [self.candidate_instructions(copy) for copy in copies]
+        count = 0
+        for combo in itertools.product(*menus):
+            if count >= self.max_candidates:
+                return
+            count += 1
+            yield {copy.op_id: instr for copy, instr in zip(copies, combo)}
+
+    def evaluate(self, assignment: Dict[int, MemoryInstruction]) -> Optional[Candidate]:
+        """Synthesize shared-memory layouts and estimate the latency of one leaf.
+
+        Returns ``None`` for invalid leaves (unsatisfiable shared-memory
+        constraints) and records the offending buffer in
+        ``self.last_failed_tensor`` so the greedy repair can degrade the right
+        copies.
+        """
+        self.candidates_explored += 1
+        self.last_failed_tensor = None
+        candidate = Candidate(assignment=dict(assignment))
+        copies_by_id = {copy.op_id: copy for copy in self.program.copies()}
+
+        # Shared-memory layout synthesis per buffer.
+        for tensor in self.program.shared_tensors():
+            accesses: List[CopyAccess] = []
+            for copy in self.program.copies_touching(tensor):
+                instr = assignment[copy.op_id]
+                reg = copy.register_operand()
+                reg_tv = reg.tv_layout if reg is not None else None
+                accesses.append(copy_access_for(copy, instr, tensor, reg_tv))
+            try:
+                plan = synthesize_smem_layout(tensor, accesses)
+            except SmemSynthesisError:
+                self.last_failed_tensor = tensor
+                return None
+            candidate.smem_plans[tensor] = plan
+            for access in accesses:
+                candidate.conflict_factors[access.copy.op_id] = max(
+                    candidate.conflict_factors.get(access.copy.op_id, 1.0),
+                    plan.conflict_factor,
+                )
+
+        # Temporarily install the assignment for the cost model.
+        previous = {}
+        for op_id, instr in assignment.items():
+            op = copies_by_id[op_id]
+            previous[op_id] = op.selected_instruction
+            op.selected_instruction = instr
+        try:
+            model = AnalyticalCostModel(
+                self.program, assignment, candidate.conflict_factors
+            )
+            candidate.cost = model.estimate()
+        finally:
+            for op_id, old in previous.items():
+                copies_by_id[op_id].selected_instruction = old
+        return candidate
+
+    def greedy_repair(self) -> Optional[Candidate]:
+        """A valid candidate obtained by starting from the widest instruction
+        per copy and locally degrading copies until the shared-memory layout
+        constraints unify.
+
+        This mirrors the paper's fallback guarantee: the all-scalar leaf is
+        always satisfiable, so the repair loop terminates with some valid
+        candidate even when wide choices conflict (Fig. 10 c, Case 2).
+        """
+        copies = sorted(
+            self.program.copies(), key=lambda c: (c.moves_bytes() * c.trips)
+        )
+        menus = {copy.op_id: self.candidate_instructions(copy) for copy in copies}
+        position = {copy.op_id: 0 for copy in copies}
+        while True:
+            assignment = {
+                op_id: menu[min(position[op_id], len(menu) - 1)]
+                for op_id, menu in menus.items()
+            }
+            candidate = self.evaluate(assignment)
+            if candidate is not None:
+                return candidate
+            # Degrade a copy involved in the failing buffer when known (the
+            # cheaper side first), otherwise the cheapest copy overall.
+            failed = getattr(self, "last_failed_tensor", None)
+            if failed is not None:
+                involved = [c for c in copies if failed in c.tensors()]
+            else:
+                involved = []
+            pool = involved or copies
+            for copy in pool:
+                if position[copy.op_id] < len(menus[copy.op_id]) - 1:
+                    position[copy.op_id] += 1
+                    break
+            else:
+                # Every involved copy is already at its narrowest choice;
+                # degrade something else before giving up entirely.
+                for copy in copies:
+                    if position[copy.op_id] < len(menus[copy.op_id]) - 1:
+                        position[copy.op_id] += 1
+                        break
+                else:
+                    return None
+
+    def best(self) -> Candidate:
+        """Pick the valid candidate with the lowest estimated latency."""
+        best = self.greedy_repair()
+        for assignment in self.enumerate_assignments():
+            candidate = self.evaluate(assignment)
+            if candidate is None:
+                continue
+            if best is None or candidate.total_cycles < best.total_cycles:
+                best = candidate
+        if best is None:
+            raise SelectionError(
+                f"no valid candidate program found for kernel {self.program.name!r}"
+            )
+        return best
+
+    def all_valid_candidates(self) -> List[Candidate]:
+        """Every valid leaf with its cost — used by the cost-model-accuracy
+        experiment (Fig. 12)."""
+        result = []
+        for assignment in self.enumerate_assignments():
+            candidate = self.evaluate(assignment)
+            if candidate is not None:
+                result.append(candidate)
+        return result
+
+    def apply(self, candidate: Candidate) -> None:
+        """Install the chosen instructions and shared-memory layouts."""
+        copies_by_id = {copy.op_id: copy for copy in self.program.copies()}
+        for op_id, instr in candidate.assignment.items():
+            copies_by_id[op_id].selected_instruction = instr
+        for plan in candidate.smem_plans.values():
+            plan.apply()

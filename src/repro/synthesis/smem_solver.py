@@ -1,0 +1,293 @@
+"""Shared-memory layout synthesis (Section V of the paper).
+
+For every shared-memory tensor the solver:
+
+1. builds an alignment-aware :class:`LayoutConstraint` from each copy that
+   touches the buffer (the instruction selected for the copy dictates how
+   many elements must be contiguous and along which tensor dimension);
+2. unifies the constraints of all copies and materializes the free strides,
+   yielding the base memory layout ``m``;
+3. selects a swizzle function ``S`` that minimizes shared-memory bank
+   conflicts for the actual warp access patterns, giving the final layout
+   ``M = S ∘ m``;
+4. for TMA copies (issued by a single thread) checks the materialized layout
+   against TMA's contiguity requirements and falls back to non-TMA
+   instructions when they cannot be met.
+
+Unification failure is not fatal: the search layer falls back to narrower
+(ultimately scalar) instructions whose constraints are always satisfiable,
+exactly as described in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.instructions.instruction import MemoryInstruction
+from repro.ir.ops import Copy
+from repro.ir.tensor import TileTensor
+from repro.layout.constraint import LayoutConstraint, UnificationError, unify
+from repro.layout.layout import Layout
+from repro.layout.swizzle import ComposedLayout, Swizzle, candidate_swizzles
+from repro.layout.tv import TVLayout
+from repro.synthesis.tiling import value_vector_run
+from repro.utils.inttuple import flatten, prefix_product
+
+__all__ = [
+    "SMEM_BANKS",
+    "SMEM_BANK_BYTES",
+    "CopyAccess",
+    "SmemPlan",
+    "SmemSynthesisError",
+    "bank_conflict_factor",
+    "copy_access_for",
+    "synthesize_smem_layout",
+]
+
+SMEM_BANKS = 32
+SMEM_BANK_BYTES = 4
+
+
+class SmemSynthesisError(Exception):
+    """Raised when no shared-memory layout satisfies the copy constraints."""
+
+
+@dataclass
+class CopyAccess:
+    """How one copy operation touches a shared-memory tensor.
+
+    ``contiguous_dim``/``vector_elems`` describe the alignment constraint
+    the selected instruction imposes; ``thread_coords`` lists, for one warp,
+    the element coordinate each thread addresses in a single simultaneous
+    access (used for bank-conflict analysis).
+    """
+
+    copy: Copy
+    instruction: MemoryInstruction
+    contiguous_dim: int
+    vector_elems: int
+    thread_coords: List[Tuple[int, ...]] = field(default_factory=list)
+
+    def constraint(self, tensor_shape: Sequence[int]) -> LayoutConstraint:
+        if self.vector_elems <= 1 or self.instruction.single_thread:
+            return LayoutConstraint.unconstrained(tensor_shape)
+        return LayoutConstraint.from_vectorized_access(
+            tensor_shape, self.contiguous_dim, self.vector_elems
+        )
+
+
+@dataclass
+class SmemPlan:
+    """The synthesized layout of one shared-memory tensor."""
+
+    tensor: TileTensor
+    base_layout: Layout
+    swizzle: Swizzle
+    conflict_factor: float
+    accesses: List[CopyAccess]
+
+    @property
+    def layout(self) -> ComposedLayout:
+        return ComposedLayout(self.swizzle, self.base_layout)
+
+    def apply(self) -> None:
+        """Store the result on the tensor."""
+        self.tensor.layout = self.base_layout
+        self.tensor.swizzled_layout = self.layout
+
+
+# --------------------------------------------------------------------------- #
+# Access construction
+# --------------------------------------------------------------------------- #
+def copy_access_for(
+    copy: Copy,
+    instruction: MemoryInstruction,
+    smem_tensor: TileTensor,
+    reg_tv: Optional[TVLayout],
+) -> CopyAccess:
+    """Derive the alignment constraint and warp access pattern of one copy."""
+    dtype = smem_tensor.dtype
+    vec = instruction.elements_per_thread(dtype)
+    shape = smem_tensor.shape
+
+    if instruction.single_thread:
+        # TMA: a single thread issues the copy; the layout constraint is
+        # checked post-hoc by `check_tma_compatible`.
+        contiguous_dim = _global_contiguous_dim(copy, shape)
+        return CopyAccess(copy, instruction, contiguous_dim, vec, [(0,) * len(shape)])
+
+    if reg_tv is None:
+        # Global <-> shared copy with no register operand (cp.async): the
+        # vectorization direction follows the global tensor's contiguous dim.
+        contiguous_dim = _global_contiguous_dim(copy, shape)
+        coords = _strided_warp_coords(shape, contiguous_dim, vec)
+        return CopyAccess(copy, instruction, contiguous_dim, vec, coords)
+
+    if instruction.collective:
+        # ldmatrix/stmatrix: every thread addresses one `vec`-element row;
+        # the 32 rows of a warp walk down the other dimension first.  The
+        # `.trans` variants read rows along the other tile dimension and
+        # transpose in flight.
+        run_dim, _ = value_vector_run(reg_tv)
+        contiguous_dim = run_dim
+        if instruction.transposed and len(shape) == 2:
+            contiguous_dim = 1 - run_dim
+        coords = _strided_warp_coords(shape, contiguous_dim, vec)
+        return CopyAccess(copy, instruction, contiguous_dim, vec, coords)
+
+    run_dim, run = value_vector_run(reg_tv)
+    usable = min(vec, run) if run > 1 else 1
+    # Clamp to a width that actually divides the run (vector accesses must
+    # not straddle the thread's contiguous segment).
+    while usable > 1 and run % usable != 0:
+        usable //= 2
+    coords = [reg_tv.coords(t, 0) for t in range(min(32, reg_tv.num_threads))]
+    return CopyAccess(copy, instruction, run_dim, usable, coords)
+
+
+def _global_contiguous_dim(copy: Copy, smem_shape: Sequence[int]) -> int:
+    """The dimension that is contiguous in the global operand of a copy."""
+    other = copy.src if copy.src.is_global else copy.dst if copy.dst.is_global else None
+    if other is None or other.layout is None:
+        return len(smem_shape) - 1
+    strides = [
+        flatten(other.layout[i].stride)[-1] if other.layout[i].size() > 1 else 1 << 30
+        for i in range(min(other.rank, len(smem_shape)))
+    ]
+    return int(min(range(len(strides)), key=lambda i: strides[i]))
+
+
+def _strided_warp_coords(
+    shape: Sequence[int], contiguous_dim: int, vec: int
+) -> List[Tuple[int, ...]]:
+    """Coordinates of the 32 simultaneous per-thread accesses of one warp
+    when each thread owns one ``vec``-element run along ``contiguous_dim``
+    and consecutive threads walk the other dimensions first."""
+    shape = tuple(int(x) for x in shape)
+    other_dims = [i for i in range(len(shape)) if i != contiguous_dim]
+    coords = []
+    for t in range(32):
+        remaining = t
+        coord = [0] * len(shape)
+        for dim in other_dims:
+            coord[dim] = remaining % shape[dim]
+            remaining //= shape[dim]
+        coord[contiguous_dim] = (remaining * vec) % max(shape[contiguous_dim], 1)
+        coords.append(tuple(coord))
+    return coords
+
+
+# --------------------------------------------------------------------------- #
+# Bank conflicts
+# --------------------------------------------------------------------------- #
+def bank_conflict_factor(
+    layout,
+    coords: Sequence[Tuple[int, ...]],
+    element_bytes: float,
+    access_bytes: int,
+) -> float:
+    """Average bank-conflict multiplier of a warp-wide access.
+
+    The 32 accesses are split into phases such that each phase moves at most
+    128 bytes (the shared-memory transaction size); within a phase the
+    multiplier is the maximum number of distinct 4-byte banks conflicts, and
+    the result is the mean over phases.  1.0 means conflict-free.
+    """
+    if not coords:
+        return 1.0
+    threads_per_phase = max(1, int(SMEM_BANKS * SMEM_BANK_BYTES // max(access_bytes, 1)))
+    factors = []
+    for start in range(0, len(coords), threads_per_phase):
+        phase = coords[start:start + threads_per_phase]
+        banks: Dict[int, set] = {}
+        for coord in phase:
+            address = int(layout(tuple(coord)) * element_bytes)
+            bank = (address // SMEM_BANK_BYTES) % SMEM_BANKS
+            banks.setdefault(bank, set()).add(address // (SMEM_BANKS * SMEM_BANK_BYTES))
+        worst = max(len(lines) for lines in banks.values())
+        factors.append(worst)
+    return sum(factors) / len(factors)
+
+
+# --------------------------------------------------------------------------- #
+# TMA compatibility
+# --------------------------------------------------------------------------- #
+def check_tma_compatible(layout: Layout, element_bits: int) -> bool:
+    """TMA requires a contiguous innermost run of at least 16 bytes whose
+    extent times the element size is a multiple of 16 bytes."""
+    flat = layout.flatten()
+    for shape, stride in zip(flat.flat_shape(), flat.flat_stride()):
+        if stride == 1:
+            run_bytes = shape * element_bits / 8
+            return run_bytes >= 16 and run_bytes % 16 == 0
+    return False
+
+
+# --------------------------------------------------------------------------- #
+# Main entry point
+# --------------------------------------------------------------------------- #
+def synthesize_smem_layout(
+    tensor: TileTensor,
+    accesses: Sequence[CopyAccess],
+) -> SmemPlan:
+    """Unify the constraints of all accesses and pick the best swizzle."""
+    if not accesses:
+        # An unused buffer: any compact layout works.
+        base = Layout(tensor.shape)
+        return SmemPlan(tensor, base, Swizzle(0, 0, 0), 1.0, [])
+
+    constraints = [access.constraint(tensor.shape) for access in accesses]
+    try:
+        merged = unify(constraints)
+        base = merged.materialize()
+    except UnificationError as exc:
+        raise SmemSynthesisError(
+            f"shared tensor {tensor.name!r}: {exc}"
+        ) from exc
+
+    # TMA feasibility check for single-thread copies.
+    for access in accesses:
+        if access.instruction.single_thread and not check_tma_compatible(
+            base, tensor.dtype.bits
+        ):
+            raise SmemSynthesisError(
+                f"shared tensor {tensor.name!r}: layout {base} does not satisfy "
+                f"TMA contiguity requirements"
+            )
+
+    element_bytes = tensor.dtype.bits / 8
+    row_bytes = int(
+        max(
+            (access.vector_elems for access in accesses),
+            default=1,
+        )
+        * element_bytes
+    )
+    best_swizzle = Swizzle(0, 0, 0)
+    best_factor = _total_conflicts(base, best_swizzle, accesses, element_bytes)
+    for swizzle in candidate_swizzles(tensor.dtype.bits, row_bytes):
+        factor = _total_conflicts(base, swizzle, accesses, element_bytes)
+        if factor < best_factor - 1e-9:
+            best_factor = factor
+            best_swizzle = swizzle
+    return SmemPlan(tensor, base, best_swizzle, best_factor, list(accesses))
+
+
+def _total_conflicts(
+    base: Layout,
+    swizzle: Swizzle,
+    accesses: Sequence[CopyAccess],
+    element_bytes: float,
+) -> float:
+    layout = ComposedLayout(swizzle, base)
+    total = 0.0
+    weight = 0.0
+    for access in accesses:
+        factor = bank_conflict_factor(
+            layout, access.thread_coords, element_bytes, access.instruction.vector_bytes
+        )
+        trips = access.copy.trips
+        total += factor * trips
+        weight += trips
+    return total / weight if weight else 1.0

@@ -1,0 +1,296 @@
+"""Construction of block-level thread-value layouts from instruction atoms.
+
+Algorithm 1 *initializes* thread-value layouts at anchor operations:
+
+* at a ``gemm`` anchor, the chosen Tensor Core instruction's operand atoms
+  are tiled over the block-level (BM, BN, BK) tile across the block's warps
+  (lines 8-11 of Algorithm 1);
+* at a ``copy`` anchor, the layout is built by coalescing memory accesses —
+  consecutive threads access consecutive vectors along the most-contiguous
+  memory dimension (lines 14-16).
+
+Both constructions are expressed with the layout algebra (rebasing atom
+strides into the block tile's coordinate space, composing access orders),
+so the resulting layouts are correct by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.instructions.instruction import MmaInstruction
+from repro.layout.algebra import coalesce, composition
+from repro.layout.layout import Layout, make_layout
+from repro.layout.tv import TVLayout, rebase_strides
+from repro.utils.inttuple import flatten, prefix_product, product
+
+__all__ = [
+    "TiledMma",
+    "make_tiled_mma",
+    "coalesced_copy_tv",
+    "value_vector_run",
+    "reduce_tv_layout",
+    "pick_warp_grid",
+]
+
+
+@dataclass(frozen=True)
+class TiledMma:
+    """The block-level TV layouts of a gemm's three operands plus bookkeeping."""
+
+    instruction: MmaInstruction
+    block_tile: Tuple[int, int, int]
+    warp_grid: Tuple[int, int]
+    a_tv: TVLayout
+    b_tv: TVLayout
+    c_tv: TVLayout
+
+    @property
+    def repeats(self) -> Tuple[int, int, int]:
+        bm, bn, bk = self.block_tile
+        wm, wn = self.warp_grid
+        return (
+            bm // (wm * self.instruction.m),
+            bn // (wn * self.instruction.n),
+            bk // self.instruction.k,
+        )
+
+    def invocations_per_warp(self) -> int:
+        rm, rn, rk = self.repeats
+        return rm * rn * rk
+
+
+def pick_warp_grid(num_warps: int, block_m: int, block_n: int, atom_m: int, atom_n: int) -> Tuple[int, int]:
+    """Choose how to arrange ``num_warps`` warps over the M and N dimensions.
+
+    Prefers a split where every warp owns at least one instruction atom in
+    each dimension and that keeps the per-warp tile as square as possible
+    (better register reuse).
+    """
+    best: Optional[Tuple[int, int]] = None
+    best_score: Optional[float] = None
+    for wm in range(1, num_warps + 1):
+        if num_warps % wm != 0:
+            continue
+        wn = num_warps // wm
+        if block_m % (wm * atom_m) != 0 or block_n % (wn * atom_n) != 0:
+            continue
+        per_warp_m = block_m // wm
+        per_warp_n = block_n // wn
+        score = abs(per_warp_m - per_warp_n) + 0.01 * wm
+        if best_score is None or score < best_score:
+            best_score = score
+            best = (wm, wn)
+    if best is None:
+        raise ValueError(
+            f"cannot tile block ({block_m}, {block_n}) with {num_warps} warps of "
+            f"atoms ({atom_m}, {atom_n})"
+        )
+    return best
+
+
+def _rebase_atom(atom: TVLayout, new_tile: Sequence[int]) -> Layout:
+    """Rebase an instruction atom's layout into a larger tile's colex space."""
+    return rebase_strides(atom.layout, atom.tile_shape, new_tile)
+
+
+def make_tiled_mma(
+    instruction: MmaInstruction,
+    block_tile: Tuple[int, int, int],
+    num_warps: int,
+    warp_grid: Optional[Tuple[int, int]] = None,
+) -> TiledMma:
+    """Tile a Tensor Core atom over a block tile, producing the operand TV layouts.
+
+    ``block_tile`` is (BM, BN, BK).  Warps are arranged on a (WM, WN) grid;
+    each warp owns a contiguous (BM/WM, BN/WN) region of C and iterates the
+    atom over it, so A fragments are replicated across the WN warps and B
+    fragments across the WM warps (stride-0 thread modes).
+    """
+    bm, bn, bk = block_tile
+    if warp_grid is None:
+        warp_grid = pick_warp_grid(num_warps, bm, bn, instruction.m, instruction.n)
+    wm, wn = warp_grid
+    if wm * wn != num_warps:
+        raise ValueError(f"warp grid {warp_grid} does not use {num_warps} warps")
+    if bm % (wm * instruction.m) or bn % (wn * instruction.n) or bk % instruction.k:
+        raise ValueError(
+            f"block tile {block_tile} is not divisible by warp grid {warp_grid} x "
+            f"atom ({instruction.m}, {instruction.n}, {instruction.k})"
+        )
+    rep_m = bm // (wm * instruction.m)
+    rep_n = bn // (wn * instruction.n)
+    rep_k = bk // instruction.k
+
+    # ---- C: (BM, BN) ---------------------------------------------------- #
+    c_atom = _rebase_atom(instruction.c_tv, (bm, bn))
+    c_thread = make_layout(
+        c_atom[0],
+        Layout((wm, wn), (instruction.m * rep_m, instruction.n * rep_n * bm)),
+    )
+    c_value = make_layout(
+        c_atom[1],
+        Layout((rep_m, rep_n), (instruction.m, instruction.n * bm)),
+    )
+    c_tv = TVLayout(make_layout(c_thread, c_value), (bm, bn))
+
+    # ---- A: (BM, BK) ---------------------------------------------------- #
+    a_atom = _rebase_atom(instruction.a_tv, (bm, bk))
+    a_thread = make_layout(
+        a_atom[0],
+        Layout((wm, wn), (instruction.m * rep_m, 0)),
+    )
+    a_value = make_layout(
+        a_atom[1],
+        Layout((rep_m, rep_k), (instruction.m, instruction.k * bm)),
+    )
+    a_tv = TVLayout(make_layout(a_thread, a_value), (bm, bk))
+
+    # ---- B: (BN, BK) ---------------------------------------------------- #
+    b_atom = _rebase_atom(instruction.b_tv, (bn, bk))
+    b_thread = make_layout(
+        b_atom[0],
+        Layout((wm, wn), (0, instruction.n * rep_n)),
+    )
+    b_value = make_layout(
+        b_atom[1],
+        Layout((rep_n, rep_k), (instruction.n, instruction.k * bn)),
+    )
+    b_tv = TVLayout(make_layout(b_thread, b_value), (bn, bk))
+
+    return TiledMma(instruction, (bm, bn, bk), (wm, wn), a_tv, b_tv, c_tv)
+
+
+def coalesced_copy_tv(
+    tile_shape: Sequence[int],
+    memory_layout: Layout,
+    num_threads: int,
+    max_vector_elems: int,
+) -> TVLayout:
+    """Anchor-copy initialization: a TV layout with coalesced memory accesses.
+
+    The memory layout's dimensions are sorted by stride; the vector width is
+    limited by the contiguous extent and ``max_vector_elems``; consecutive
+    threads then access consecutive vectors (Algorithm 1, line 15).
+    """
+    tile_shape = tuple(int(x) for x in tile_shape)
+    total = product(tile_shape)
+    tile_strides = flatten(prefix_product(tile_shape))
+
+    mem_strides = [coalesce(memory_layout[i]).flat_stride()[0] if memory_layout[i].size() > 1 else 0
+                   for i in range(len(tile_shape))]
+    order = sorted(range(len(tile_shape)), key=lambda i: (mem_strides[i] == 0, mem_strides[i]))
+    # Permutation layout: access rank -> tile colex index, most-contiguous
+    # memory dimension first.
+    perm = Layout(
+        tuple(tile_shape[i] for i in order),
+        tuple(tile_strides[i] for i in order),
+    )
+
+    def build(order_layout: Layout, contiguous_extent: int) -> Optional[TVLayout]:
+        vec = 1
+        candidate = max(1, max_vector_elems)
+        while candidate > 1:
+            if contiguous_extent % candidate == 0 and total % candidate == 0:
+                vec = candidate
+                break
+            candidate //= 2
+        if total < num_threads * vec:
+            return None
+        while vec >= 1:
+            if total % (num_threads * vec) == 0:
+                rest = total // (num_threads * vec)
+                access = Layout(
+                    (num_threads, (vec, rest)),
+                    (vec, (1, vec * num_threads)),
+                )
+                try:
+                    tv_layout = composition(order_layout, access)
+                except ValueError:
+                    vec //= 2
+                    continue
+                return TVLayout(make_layout(tv_layout[0], tv_layout[1]), tile_shape)
+            vec //= 2
+        return None
+
+    if total >= num_threads:
+        # First try to coalesce along the memory order; if the tile extents
+        # do not factor across the thread count (non-power-of-two tiles),
+        # fall back to the tile's own colexicographic order, which always
+        # composes but may leave the accesses less coalesced.
+        result = build(perm, tile_shape[order[0]])
+        if result is None:
+            identity = Layout(tuple(tile_shape))
+            result = build(identity, tile_shape[0])
+        if result is not None:
+            return result
+
+    # Small tensor: fewer elements than threads. Each element goes to one
+    # thread; the remaining threads replicate (stride-0 mode).
+    vec = 1
+    active = total
+    replicas = max(1, num_threads // active)
+    access = Layout((active, 1), (1, 0))
+    mapped = composition(perm, Layout(active, 1))
+    thread = make_layout(Layout(mapped.shape, mapped.stride), Layout(replicas, 0))
+    value = Layout(1, 0)
+    return TVLayout(make_layout(thread, value), tile_shape)
+
+
+def value_vector_run(tv: TVLayout) -> Tuple[int, int]:
+    """The per-thread contiguous run of a TV layout.
+
+    Returns ``(dim, run)``: the tile dimension along which consecutive
+    values of a thread advance by one element, and the length of that run.
+    ``run == 1`` means the values are not contiguous along any dimension
+    (only scalar accesses are possible without a collective instruction).
+    """
+    values = tv.values_per_thread
+    if values == 1:
+        return 0, 1
+    coords = [tv.coords(0, v) for v in range(values)]
+    first_delta = tuple(b - a for a, b in zip(coords[0], coords[1]))
+    dims_changed = [i for i, d in enumerate(first_delta) if d != 0]
+    if len(dims_changed) != 1 or first_delta[dims_changed[0]] != 1:
+        return 0, 1
+    dim = dims_changed[0]
+    run = 1
+    for v in range(1, values):
+        delta = tuple(b - a for a, b in zip(coords[v - 1], coords[v]))
+        expected = tuple(1 if i == dim else 0 for i in range(len(delta)))
+        if delta == expected:
+            run += 1
+        else:
+            break
+    return dim, run
+
+
+def reduce_tv_layout(tv: TVLayout, dim: int) -> TVLayout:
+    """The TV layout of ``reduce(a, dim)``'s output (Fig. 19 d).
+
+    Composes the input layout with the projection that collapses the reduced
+    dimension: every stride's step along ``dim`` is zeroed, and the output
+    tile has extent 1 in that dimension.  Threads that held different slices
+    along ``dim`` now hold replicated copies of the partial results.
+    """
+    out_tile = tuple(1 if i == dim else extent for i, extent in enumerate(tv.tile_shape))
+    out_strides = flatten(prefix_product(out_tile))
+    in_shape = tv.tile_shape
+
+    from repro.utils.inttuple import idx2crd, is_tuple, unflatten_like
+
+    def project(stride: int) -> int:
+        steps = idx2crd(stride, in_shape)
+        if not is_tuple(steps):
+            steps = (steps,)
+        return sum(
+            int(step) * int(out_strides[i])
+            for i, step in enumerate(steps)
+            if i != dim
+        )
+
+    flat = flatten(tv.layout.stride)
+    projected = tuple(project(d) for d in flat)
+    layout = Layout(tv.layout.shape, unflatten_like(projected, tv.layout.stride))
+    return TVLayout(layout, out_tile)

@@ -1,0 +1,209 @@
+"""Thread-value layout constraints (Section IV-A, Fig. 19).
+
+Each tile-level operation induces a constraint relating the thread-value
+layouts of its operands, expressed through composition with the inverses of
+the implementing instruction's operand layouts:
+
+* ``copy(a, b)`` with instruction layouts ``p`` (source side) and ``q``
+  (destination side):  ``f ∘ p⁻¹ = g ∘ q⁻¹``;
+* ``gemm(c, a, b)`` with instruction operand layouts ``p_A, p_B, p_C``:
+  the composites agree dimension-wise (M between C and A, N between C and
+  B, K between A and B);
+* ``elementwise``: all operands share one TV layout;
+* ``reduce``: the output layout is the input layout composed with the
+  projection collapsing the reduced dimension.
+
+The checking functions below verify these equations point-wise over the
+instruction's (thread, value) domain; the solver uses them to validate the
+layouts it constructs, and the test suite uses them as the ground-truth
+semantics of the constraint system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.instructions.instruction import MmaInstruction
+from repro.ir.ops import Copy, Elementwise, Gemm, Operation, Reduce
+from repro.layout.tv import TVLayout
+from repro.synthesis.tiling import reduce_tv_layout
+
+__all__ = [
+    "TVConstraint",
+    "CopyConstraint",
+    "GemmConstraint",
+    "ElementwiseConstraint",
+    "ReduceConstraint",
+    "check_copy_constraint",
+    "check_gemm_constraint",
+    "check_elementwise_constraint",
+    "check_reduce_constraint",
+    "constraint_for",
+]
+
+
+@dataclass
+class TVConstraint:
+    """Base class: a constraint attached to one operation."""
+
+    op: Operation
+
+    def unknowns(self) -> list:
+        """Register tensors of the operation that still lack a TV layout."""
+        return [t for t in self.op.register_tensors() if t.tv_layout is None]
+
+    def ready(self) -> bool:
+        """A constraint is ready to solve when at most one layout is unknown
+        (Algorithm 1, the ready queue Rq)."""
+        return len(self.unknowns()) <= 1
+
+    def satisfied(self) -> bool:
+        raise NotImplementedError
+
+
+@dataclass
+class CopyConstraint(TVConstraint):
+    op: Copy
+
+    def satisfied(self) -> bool:
+        reg = self.op.register_operand()
+        return reg is None or reg.tv_layout is not None
+
+
+@dataclass
+class GemmConstraint(TVConstraint):
+    op: Gemm
+
+    def satisfied(self) -> bool:
+        return all(t.tv_layout is not None for t in (self.op.a, self.op.b, self.op.c))
+
+
+@dataclass
+class ElementwiseConstraint(TVConstraint):
+    op: Operation
+
+    def satisfied(self) -> bool:
+        layouts = [t.tv_layout for t in self.op.register_tensors()]
+        if any(l is None for l in layouts):
+            return False
+        return all(layouts[0].equivalent(l) for l in layouts[1:])
+
+
+@dataclass
+class ReduceConstraint(TVConstraint):
+    op: Reduce
+
+    def satisfied(self) -> bool:
+        if self.op.src.tv_layout is None or self.op.dst.tv_layout is None:
+            return False
+        return check_reduce_constraint(
+            self.op.src.tv_layout, self.op.dst.tv_layout, self.op.dim
+        )
+
+
+def constraint_for(op: Operation) -> Optional[TVConstraint]:
+    """The TV constraint induced by an operation (None if it induces none)."""
+    if isinstance(op, Gemm):
+        return GemmConstraint(op)
+    if isinstance(op, Copy):
+        return CopyConstraint(op) if op.register_operand() is not None else None
+    if isinstance(op, Reduce):
+        return ReduceConstraint(op)
+    if isinstance(op, Elementwise):
+        return ElementwiseConstraint(op)
+    from repro.ir.ops import Cast
+
+    if isinstance(op, Cast):
+        return ElementwiseConstraint(op)
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# Point-wise constraint checks
+# --------------------------------------------------------------------------- #
+def check_copy_constraint(f: TVLayout, g: TVLayout, p: TVLayout, q: TVLayout) -> bool:
+    """``f ∘ p⁻¹ = g ∘ q⁻¹`` over the instruction's (thread, value) domain.
+
+    ``f``/``g`` are the source/destination tensor TV layouts restricted to
+    the instruction's thread group, ``p``/``q`` the instruction's input and
+    output layouts.  Verified point-wise: the same (thread, value) pair must
+    address the same logical element on both sides.
+    """
+    threads = min(p.num_threads, q.num_threads)
+    values = min(p.values_per_thread, q.values_per_thread)
+    if f.num_threads < threads or g.num_threads < threads:
+        return False
+    composite_f = {}
+    composite_g = {}
+    for t in range(threads):
+        for v in range(values):
+            composite_f[p(t, v)] = f(t, v)
+            composite_g[q(t, v)] = g(t, v)
+    shared_keys = set(composite_f) & set(composite_g)
+    if not shared_keys:
+        return False
+    return all(composite_f[k] == composite_g[k] for k in shared_keys)
+
+
+def check_gemm_constraint(
+    fa: TVLayout, fb: TVLayout, fc: TVLayout, instruction: MmaInstruction
+) -> bool:
+    """The dimension-wise gemm constraints of Fig. 19 (b), checked point-wise.
+
+    For every (thread, value) pair of the instruction atom, the M coordinate
+    assigned through C must match the one assigned through A, the N
+    coordinate through C must match B's, and the K coordinate through A must
+    match B's.
+    """
+    pa, pb, pc = instruction.a_tv, instruction.b_tv, instruction.c_tv
+    threads = pa.num_threads
+
+    # M consistency: C rows vs A rows.
+    for t in range(threads):
+        m_from_c = {pc.coords(t, v)[0] for v in range(pc.values_per_thread)}
+        m_from_a = {pa.coords(t, v)[0] for v in range(pa.values_per_thread)}
+        tile_m_c = {fc.coords(t, v)[0] for v in range(pc.values_per_thread)}
+        tile_m_a = {fa.coords(t, v)[0] for v in range(pa.values_per_thread)}
+        if m_from_c != m_from_a:
+            # The atom itself pairs rows differently; nothing to check here.
+            continue
+        if tile_m_c != tile_m_a:
+            return False
+
+    # N consistency: C columns vs B rows.
+    for t in range(threads):
+        n_from_c = {pc.coords(t, v)[1] for v in range(pc.values_per_thread)}
+        n_from_b = {pb.coords(t, v)[0] for v in range(pb.values_per_thread)}
+        tile_n_c = {fc.coords(t, v)[1] for v in range(pc.values_per_thread)}
+        tile_n_b = {fb.coords(t, v)[0] for v in range(pb.values_per_thread)}
+        if n_from_c != n_from_b:
+            continue
+        if tile_n_c != tile_n_b:
+            return False
+
+    # K consistency: A columns vs B columns.
+    for t in range(threads):
+        k_from_a = {pa.coords(t, v)[1] for v in range(pa.values_per_thread)}
+        k_from_b = {pb.coords(t, v)[1] for v in range(pb.values_per_thread)}
+        tile_k_a = {fa.coords(t, v)[1] for v in range(pa.values_per_thread)}
+        tile_k_b = {fb.coords(t, v)[1] for v in range(pb.values_per_thread)}
+        if k_from_a != k_from_b:
+            continue
+        if tile_k_a != tile_k_b:
+            return False
+    return True
+
+
+def check_elementwise_constraint(layouts: list[TVLayout]) -> bool:
+    """All operands of an elementwise op must share one TV layout (Fig. 19 c)."""
+    if not layouts:
+        return True
+    return all(layouts[0].equivalent(l) for l in layouts[1:])
+
+
+def check_reduce_constraint(src: TVLayout, dst: TVLayout, dim: int) -> bool:
+    """The reduce output layout must be the input layout with the reduced
+    dimension collapsed (Fig. 19 d)."""
+    expected = reduce_tv_layout(src, dim)
+    return dst.equivalent(expected)

@@ -1,0 +1,95 @@
+"""End-to-end compiler tests: instruction selection, fallback, codegen, timing."""
+
+import pytest
+
+from repro.compiler import compile_kernel
+from repro.frontend import KernelBuilder, kernel
+from repro.ir import types
+from repro.kernels.gemm import GemmConfig, build_fp16_gemm
+from repro.kernels.moe import build_moe_gemm
+from repro.layout import Layout
+from repro.sim.arch import A100, H100, get_arch
+
+
+def test_gemm_selects_wide_and_collective_instructions():
+    program = build_fp16_gemm(128, 128, 256, GemmConfig(bm=128, bn=128, bk=32))
+    compiled = compile_kernel(program, arch="a100", max_candidates=16)
+    chosen = {op.op_id: instr.name for op_id, instr in compiled.candidate.assignment.items()
+              for op in program.copies() if op.op_id == op_id}
+    names = set(chosen.values())
+    assert any(name.startswith("cp.async") for name in names)
+    assert any(name.startswith("ldmatrix") for name in names)
+    # Shared-memory layouts were synthesized for every buffer.
+    assert len(compiled.candidate.smem_plans) == len(program.shared_tensors())
+
+
+def test_width_cap_forces_narrow_instructions():
+    program = build_fp16_gemm(64, 64, 64, GemmConfig(bm=64, bn=64, bk=32))
+    compiled = compile_kernel(program, arch="a100", max_candidates=4,
+                              copy_width_cap=lambda c: 4)
+    assert all(i.vector_bytes <= 4 for i in compiled.candidate.assignment.values())
+
+
+def test_narrow_instructions_are_slower():
+    wide = compile_kernel(build_fp16_gemm(64, 64, 128, GemmConfig(bm=64, bn=64, bk=32)),
+                          arch="a100", max_candidates=8)
+    narrow = compile_kernel(build_fp16_gemm(64, 64, 128, GemmConfig(bm=64, bn=64, bk=32)),
+                            arch="a100", max_candidates=8, copy_width_cap=lambda c: 2)
+    assert narrow.latency_us > wide.latency_us
+
+
+def test_cost_model_picks_near_optimal_candidate():
+    """The Fig. 12 property: the selected candidate is within a small factor
+    of the best valid candidate found by exhaustive evaluation."""
+    program = build_fp16_gemm(64, 64, 128, GemmConfig(bm=64, bn=64, bk=32))
+    compiled = compile_kernel(program, arch="a100", max_candidates=48, keep_alternatives=True)
+    best = min(c.total_cycles for c in compiled.alternatives)
+    assert compiled.candidate.total_cycles <= best * 1.01
+
+
+def test_moe_kernels_compile_on_both_dataflows():
+    for dataflow in ("hexcute", "triton"):
+        program = build_moe_gemm(16, 128, 256, dataflow=dataflow)
+        compiled = compile_kernel(program, arch="h100", max_candidates=4)
+        assert compiled.latency_us > 0
+
+
+def test_emitted_source_mentions_layouts_and_instructions():
+    program = build_fp16_gemm(64, 64, 64, GemmConfig(bm=64, bn=64, bk=32))
+    compiled = compile_kernel(program, arch="a100", max_candidates=4)
+    assert "__global__" in compiled.source
+    assert "__shared__" in compiled.source
+    assert "tv layout" in compiled.source
+    assert "mma" in compiled.source
+    assert compiled.summary()
+
+
+def test_timing_scales_with_grid():
+    small = compile_kernel(build_fp16_gemm(128, 128, 128, GemmConfig(bm=128, bn=128, bk=32)),
+                           arch="a100", max_candidates=4)
+    big = compile_kernel(build_fp16_gemm(2048, 2048, 128, GemmConfig(bm=128, bn=128, bk=32)),
+                         arch="a100", max_candidates=4)
+    assert big.latency_us > small.latency_us
+
+
+def test_arch_lookup():
+    assert get_arch("a100") is A100
+    assert get_arch(90) is H100
+    assert get_arch(H100) is H100
+    with pytest.raises(KeyError):
+        get_arch("mi300")
+
+
+def test_kernel_decorator_compiles():
+    @kernel(num_threads=64)
+    def scale_kernel(hx, n=64):
+        src = hx.global_view("src", types.float16, (n, n), layout=Layout((n, n), (n, 1)))
+        dst = hx.global_view("dst", types.float16, (n, n), layout=Layout((n, n), (n, 1)))
+        reg = hx.register_tensor(types.float16, (n, n))
+        hx.copy(src, reg)
+        doubled = hx.elementwise(lambda x: x * 2, reg, fn_name="double")
+        hx.copy(doubled, dst)
+
+    compiled = scale_kernel.compile(arch="a100", n=64)
+    assert compiled.latency_us > 0
+    assert compiled.lines_of_code() > 0

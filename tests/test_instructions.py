@@ -1,0 +1,83 @@
+"""Tests for the instruction database and its thread-value layout atoms."""
+
+import pytest
+
+from repro.instructions import atoms, instruction_set
+from repro.ir import types
+from repro.ir.tensor import Scope
+
+
+def test_mma_atoms_cover_their_fragments():
+    for atom in (
+        atoms.MMA_M16N8K16_F16_A,
+        atoms.MMA_M16N8K16_F16_B,
+        atoms.MMA_M16N8K16_C,
+        atoms.MMA_M16N8K8_F16_A,
+        atoms.MMA_M16N8K32_8BIT_A,
+        atoms.MMA_M16N8K32_8BIT_B,
+    ):
+        assert atom.num_threads == 32
+        assert atom.covers_tile(), atom
+
+
+def test_ldmatrix_fragment_matches_paper_layout():
+    q = atoms.LDMATRIX_X4_FRAGMENT
+    assert q.num_threads == 32 and q.values_per_thread == 8
+    assert q.covers_tile()
+
+
+def test_instruction_set_arch_filtering():
+    a100 = instruction_set(80)
+    h100 = instruction_set(90)
+    names_a100 = {i.name for i in a100.memory}
+    names_h100 = {i.name for i in h100.memory}
+    assert "cp.async.bulk.tensor" not in names_a100
+    assert "cp.async.bulk.tensor" in names_h100
+    assert "stmatrix.x4" not in names_a100
+
+
+def test_copies_are_sorted_widest_first():
+    iset = instruction_set(80)
+    widths = [i.vector_bytes for i in iset.copies(Scope.SHARED, Scope.REGISTER)]
+    assert widths == sorted(widths, reverse=True)
+
+
+def test_scalar_copy_always_exists():
+    iset = instruction_set(80)
+    scalar = iset.scalar_copy(Scope.GLOBAL, Scope.REGISTER)
+    assert scalar.vector_bytes <= 4
+
+
+def test_fastest_mma_selection():
+    iset = instruction_set(90)
+    fp16 = iset.fastest_mma(types.float16, types.float16, types.float32)
+    assert fp16.k == 16
+    fp8 = iset.fastest_mma(types.float8_e4m3, types.float8_e4m3, types.float32)
+    assert fp8.k == 32
+    with pytest.raises(KeyError):
+        iset.fastest_mma(types.int4, types.int4, types.float32)
+
+
+def test_fp8_mma_not_on_ampere():
+    iset = instruction_set(80)
+    with pytest.raises(KeyError):
+        iset.fastest_mma(types.float8_e4m3, types.float8_e4m3, types.float32)
+
+
+def test_elements_per_thread():
+    iset = instruction_set(80)
+    cp16 = iset.by_name("cp.async.cg.16")
+    assert cp16.elements_per_thread(types.float16) == 8
+    assert cp16.elements_per_thread(types.uint4) == 32
+    assert cp16.asynchronous and not cp16.collective
+
+
+def test_by_name_lookup_error():
+    with pytest.raises(KeyError):
+        instruction_set(80).by_name("no.such.instruction")
+
+
+def test_transposed_ldmatrix_available():
+    iset = instruction_set(80)
+    trans = iset.by_name("ldmatrix.x4.trans")
+    assert trans.transposed and trans.collective

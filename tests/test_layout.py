@@ -1,0 +1,73 @@
+"""Tests for the core Layout abstraction (paper Section II examples)."""
+
+import pytest
+
+from repro.layout import Layout, column_major, make_layout, make_ordered_layout, row_major
+
+
+def test_row_major_interleaved_paper_example():
+    # Fig. 2 (a): m = ((2,2),8):((1,16),2); m(coordinate (2,4)) = 24.
+    m = Layout(((2, 2), 8), ((1, 16), 2))
+    assert m(((0, 1), 4)) == 24
+    assert m.size() == 32
+    assert m.cosize() == 32
+    assert m.is_compact()
+
+
+def test_layout_default_strides_are_column_major():
+    layout = Layout((4, 8))
+    assert layout.stride == (1, 4)
+    assert layout(3, 0) == 3
+    assert layout(0, 1) == 4
+
+
+def test_row_major_and_column_major():
+    rm = row_major((4, 8))
+    cm = column_major((4, 8))
+    assert rm(1, 0) == 8 and rm(0, 1) == 1
+    assert cm(1, 0) == 1 and cm(0, 1) == 4
+
+
+def test_make_ordered_layout():
+    layout = make_ordered_layout((4, 8, 2), (2, 0, 1))
+    assert layout.stride == (16, 1, 8)
+    assert layout.is_compact()
+
+
+def test_layout_getitem_and_modes():
+    layout = Layout(((2, 2), 8), ((1, 16), 2))
+    first = layout[0]
+    assert first.shape == (2, 2)
+    assert [m.shape for m in layout.modes()] == [(2, 2), 8]
+
+
+def test_layout_incongruent_raises():
+    with pytest.raises(ValueError):
+        Layout((2, 2), (1, 2, 3))
+
+
+def test_layout_injectivity():
+    assert Layout((4, 8), (1, 4)).is_injective()
+    assert not Layout((4, 8), (1, 1)).is_injective()
+
+
+def test_make_layout_concatenates_modes():
+    combined = make_layout(Layout(4, 1), Layout(8, 4))
+    assert combined.shape == (4, 8)
+    assert combined.stride == (1, 4)
+
+
+def test_flatten_keeps_function():
+    layout = Layout(((2, 2), 8), ((1, 16), 2))
+    flat = layout.flatten()
+    for i in range(layout.size()):
+        assert layout(i) == flat(i)
+
+
+def test_layout_call_with_multiple_args():
+    layout = Layout((4, 8), (8, 1))
+    assert layout(2, 3) == 19
+
+
+def test_repr_roundtrip_format():
+    assert repr(Layout(((2, 2), 8), ((1, 16), 2))) == "((2,2),8):((1,16),2)"

@@ -1,0 +1,25 @@
+"""Tests for the reporting helpers used by the benchmark harness."""
+
+import math
+
+from repro.reporting import TableRow, format_series, format_table, geometric_mean
+
+
+def test_geometric_mean():
+    assert geometric_mean([2, 8]) == 4
+    assert geometric_mean([]) == 0.0
+    assert math.isclose(geometric_mean([1.0, 1.0, 8.0]), 2.0)
+
+
+def test_format_table_contains_all_rows_and_columns():
+    rows = [TableRow("gemm", {"hexcute": 1.0, "triton": 0.75}),
+            TableRow("attention", {"hexcute": 1.05, "triton": 0.93})]
+    text = format_table("Table II", ["hexcute", "triton"], rows)
+    assert "Table II" in text and "gemm" in text and "0.750" in text
+
+
+def test_format_series_alignment():
+    text = format_series("Fig 11", "tokens", {"hexcute": [1.0, 2.0], "triton": [3.0, 4.0]}, [16, 32])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "tokens" in lines[1]

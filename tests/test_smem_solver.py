@@ -1,0 +1,97 @@
+"""Tests for shared-memory layout synthesis (Section V)."""
+
+import pytest
+
+from repro.frontend import KernelBuilder
+from repro.instructions import instruction_set
+from repro.ir import types
+from repro.layout import Layout
+from repro.synthesis import (
+    SmemSynthesisError,
+    ThreadValueSolver,
+    bank_conflict_factor,
+    copy_access_for,
+    synthesize_smem_layout,
+)
+
+
+def _staged_copy_program(in_layout, out_layout, shape=(64, 64)):
+    """global -> shared -> register -> global with given global layouts."""
+    hx = KernelBuilder("staged", num_threads=128)
+    src = hx.global_view("src", types.float16, shape, layout=in_layout)
+    dst = hx.global_view("dst", types.float16, shape, layout=out_layout)
+    smem = hx.shared_tensor(types.float16, shape)
+    reg = hx.register_tensor(types.float16, shape)
+    hx.copy(src, smem)
+    hx.copy(smem, reg)
+    hx.copy(reg, dst)
+    program = hx.build()
+    ThreadValueSolver(program, instruction_set(80)).solve()
+    return program, smem
+
+
+def _accesses(program, smem, vector_bytes=16):
+    iset = instruction_set(80)
+    accesses = []
+    for copy in program.copies_touching(smem):
+        menu = [i for i in iset.copies(copy.src.scope, copy.dst.scope, include_collective=False)
+                if i.vector_bytes <= vector_bytes]
+        instr = menu[0] if menu else iset.scalar_copy(copy.src.scope, copy.dst.scope)
+        reg = copy.register_operand()
+        accesses.append(copy_access_for(copy, instr, smem, reg.tv_layout if reg else None))
+    return accesses
+
+
+def test_compatible_accesses_unify_to_wide_layout():
+    layout = Layout((64, 64), (64, 1))  # row-major source and destination
+    program, smem = _staged_copy_program(layout, layout)
+    plan = synthesize_smem_layout(smem, _accesses(program, smem))
+    assert plan.base_layout.is_injective()
+    assert plan.base_layout.cosize() == 64 * 64
+    # The unified layout keeps 8 fp16 contiguous along the vectorized dim.
+    assert plan.base_layout((0, 1)) - plan.base_layout((0, 0)) == 1
+
+
+def test_conflicting_accesses_fail_until_degraded():
+    row = Layout((64, 64), (64, 1))
+    col = Layout((64, 64), (1, 64))
+    program, smem = _staged_copy_program(row, col)
+    with pytest.raises(SmemSynthesisError):
+        synthesize_smem_layout(smem, _accesses(program, smem, vector_bytes=16))
+    # Scalar accesses impose no alignment constraint and always unify.
+    plan = synthesize_smem_layout(smem, _accesses(program, smem, vector_bytes=2))
+    assert plan.base_layout.is_injective()
+
+
+def test_bank_conflict_factor_bounds():
+    layout = Layout((64, 64), (64, 1))
+    same_column = [(t, 0) for t in range(32)]
+    spread = [(0, 8 * t) for t in range(8)]
+    worst = bank_conflict_factor(layout, same_column, 2.0, 16)
+    best = bank_conflict_factor(layout, spread, 2.0, 16)
+    assert worst > best >= 1.0
+
+
+def test_swizzle_selected_when_it_helps():
+    row = Layout((64, 64), (64, 1))
+    program, smem = _staged_copy_program(row, row)
+    plan = synthesize_smem_layout(smem, _accesses(program, smem))
+    assert plan.conflict_factor <= 8.0
+
+
+def test_unused_buffer_gets_default_layout():
+    from repro.ir.tensor import Scope, TileTensor
+
+    tensor = TileTensor("s", types.float16, Scope.SHARED, (32, 32))
+    plan = synthesize_smem_layout(tensor, [])
+    assert plan.base_layout.is_compact()
+    assert plan.swizzle.is_identity()
+
+
+def test_plan_apply_installs_layout():
+    layout = Layout((64, 64), (64, 1))
+    program, smem = _staged_copy_program(layout, layout)
+    plan = synthesize_smem_layout(smem, _accesses(program, smem))
+    plan.apply()
+    assert smem.layout is plan.base_layout
+    assert smem.swizzled_layout is not None

@@ -1,0 +1,60 @@
+"""Tests for swizzle functions and swizzled (composed) layouts."""
+
+import pytest
+
+from repro.layout import ComposedLayout, Layout, Swizzle, candidate_swizzles, row_major
+
+
+def test_identity_swizzle():
+    sw = Swizzle(0, 0, 0)
+    assert sw.is_identity()
+    assert all(sw(i) == i for i in range(64))
+
+
+def test_swizzle_is_involution():
+    sw = Swizzle(3, 3, 3)
+    for i in range(sw.period()):
+        assert sw(sw(i)) == i
+
+
+def test_swizzle_is_permutation_of_window():
+    sw = Swizzle(2, 2, 3)
+    window = sw.period()
+    image = sorted(sw(i) for i in range(window))
+    assert image == list(range(window))
+
+
+def test_swizzle_invalid_parameters():
+    with pytest.raises(ValueError):
+        Swizzle(3, 0, 1)  # shift < bits
+
+
+def test_composed_layout_remains_injective():
+    base = row_major((32, 32))
+    layout = ComposedLayout(Swizzle(3, 3, 3), base)
+    assert layout.is_injective()
+    assert layout.size() == base.size()
+
+
+def test_composed_layout_changes_addresses_but_not_set():
+    base = row_major((16, 16))
+    swizzled = ComposedLayout(Swizzle(2, 2, 2), base)
+    assert sorted(swizzled.all_indices()) == sorted(base.all_indices())
+
+
+def test_candidate_swizzles_include_identity():
+    candidates = candidate_swizzles(16, 128)
+    assert Swizzle(0, 0, 0) in candidates
+    assert len(candidates) > 1
+    assert len(set(candidates)) == len(candidates)
+
+
+def test_swizzle_reduces_bank_conflicts_for_column_access():
+    """The canonical case: a row-major 64x64 fp16 tile accessed by column."""
+    from repro.synthesis.smem_solver import bank_conflict_factor
+
+    base = Layout((64, 64), (64, 1))  # row-major
+    coords = [(t, 0) for t in range(32)]  # one column, 32 rows
+    plain = bank_conflict_factor(base, coords, 2.0, 16)
+    swizzled = bank_conflict_factor(ComposedLayout(Swizzle(3, 3, 3), base), coords, 2.0, 16)
+    assert swizzled < plain

@@ -1,0 +1,86 @@
+"""Tests for block-level TV layout construction (gemm and copy anchors)."""
+
+import pytest
+
+from repro.instructions import instruction_set
+from repro.ir import types
+from repro.layout import Layout
+from repro.synthesis import (
+    check_gemm_constraint,
+    coalesced_copy_tv,
+    make_tiled_mma,
+    pick_warp_grid,
+    reduce_tv_layout,
+    value_vector_run,
+)
+
+
+def fp16_mma():
+    return instruction_set(80).fastest_mma(types.float16, types.float16, types.float32)
+
+
+def test_tiled_mma_covers_all_operands():
+    tiled = make_tiled_mma(fp16_mma(), (64, 64, 32), num_warps=4)
+    assert tiled.c_tv.covers_tile()
+    assert tiled.a_tv.num_threads == 128
+    # A and B are replicated across the warp dimension they do not own.
+    assert tiled.a_tv.is_replicated() or tiled.warp_grid[1] == 1
+    assert tiled.b_tv.is_replicated() or tiled.warp_grid[0] == 1
+
+
+def test_tiled_mma_satisfies_gemm_constraints():
+    instruction = fp16_mma()
+    tiled = make_tiled_mma(instruction, (64, 64, 32), num_warps=4)
+    assert check_gemm_constraint(tiled.a_tv, tiled.b_tv, tiled.c_tv, instruction)
+
+
+def test_tiled_mma_invocation_count():
+    tiled = make_tiled_mma(fp16_mma(), (128, 128, 32), num_warps=4)
+    # (128*128*32) / (16*8*16) atoms split across 4 warps.
+    assert tiled.invocations_per_warp() * 4 == (128 * 128 * 32) // (16 * 8 * 16)
+
+
+def test_tiled_mma_rejects_indivisible_tiles():
+    with pytest.raises(ValueError):
+        make_tiled_mma(fp16_mma(), (60, 64, 32), num_warps=4)
+
+
+def test_pick_warp_grid_prefers_square_partitions():
+    wm, wn = pick_warp_grid(4, 128, 128, 16, 8)
+    assert wm * wn == 4
+    assert 128 % (wm * 16) == 0 and 128 % (wn * 8) == 0
+
+
+def test_coalesced_copy_row_major():
+    tv = coalesced_copy_tv((64, 64), Layout((64, 64), (64, 1)), 128, 8)
+    assert tv.covers_tile()
+    dim, run = value_vector_run(tv)
+    assert dim == 1 and run >= 8  # vectorized along the contiguous dim
+
+
+def test_coalesced_copy_column_major():
+    tv = coalesced_copy_tv((64, 64), Layout((64, 64), (1, 64)), 128, 8)
+    dim, run = value_vector_run(tv)
+    assert dim == 0 and run >= 8
+
+
+def test_coalesced_copy_small_tensor_replicates():
+    tv = coalesced_copy_tv((16, 1), Layout((16, 1), (1, 1)), 128, 8)
+    assert tv.num_threads == 128
+    assert tv.is_replicated()
+
+
+def test_value_vector_run_scalar_layout():
+    tv = coalesced_copy_tv((64, 64), Layout((64, 64), (64, 1)), 128, 1)
+    _, run = value_vector_run(tv)
+    assert run >= 1
+
+
+def test_reduce_tv_layout_collapses_dimension():
+    tv = coalesced_copy_tv((32, 64), Layout((32, 64), (64, 1)), 64, 8)
+    reduced = reduce_tv_layout(tv, dim=1)
+    assert reduced.tile_shape == (32, 1)
+    for t in range(0, reduced.num_threads, 7):
+        for v in range(reduced.values_per_thread):
+            assert reduced.coords(t, v)[1] == 0
+            assert reduced.coords(t, v)[0] == tv.coords(t, v)[0]

@@ -1,0 +1,77 @@
+"""Tests for thread-value layouts (Fig. 1 / Fig. 2 of the paper)."""
+
+import pytest
+
+from repro.layout import Layout, TVLayout, make_tv_layout, rebase_strides
+
+
+def paper_tv() -> TVLayout:
+    # f = ((2,4),(2,2)):((8,1),(4,16)) over a 4x8 tile (Fig. 2 b/c).
+    return TVLayout(Layout(((2, 4), (2, 2)), ((8, 1), (4, 16))), (4, 8))
+
+
+def test_paper_example_mapping():
+    f = paper_tv()
+    assert f(2, 3) == 21
+    assert f.coords(2, 3) == (1, 5)
+
+
+def test_counts_and_coverage():
+    f = paper_tv()
+    assert f.num_threads == 8
+    assert f.values_per_thread == 4
+    assert f.covers_tile()
+    assert not f.is_replicated()
+
+
+def test_owner_of():
+    f = paper_tv()
+    assert f.owner_of((1, 5)) == (2, 3)
+    with pytest.raises(KeyError):
+        TVLayout(Layout((4, 2), (0, 1)), (2, 4)).owner_of((1, 3))
+
+
+def test_equivalent_and_rebase():
+    f = paper_tv()
+    assert f.equivalent(paper_tv())
+    g = f.rebase((8, 8))
+    assert g.tile_shape == (8, 8)
+    # Same thread/value pair maps to the same 2-D coordinate after rebasing.
+    assert g.coords(2, 3) == f.coords(2, 3)
+
+
+def test_with_threads_broadcast():
+    f = paper_tv()
+    g = f.with_threads(16)
+    assert g.num_threads == 16
+    assert g.is_replicated()
+    assert g(10, 3) == f(2, 3)
+
+
+def test_rebase_strides_rejects_bad_fit():
+    with pytest.raises(ValueError):
+        rebase_strides(Layout((4, 8)), (8, 8), (4, 4))
+
+
+def test_make_tv_layout_and_inverse():
+    tv = make_tv_layout((4, 8), (2, 4), (8, 1), (2, 2), (4, 16))
+    inv = tv.inverse()
+    for i in range(inv.size()):
+        assert tv.layout(inv(i)) == i
+
+
+def test_composite_onto_instruction():
+    from repro.instructions import atoms
+
+    frag = atoms.LDMATRIX_X4_FRAGMENT
+    composite = frag.composite_onto(frag)
+    # Composing a layout with its own inverse is the identity on its image.
+    for i in range(16):
+        assert composite(i) == i
+
+
+def test_projected_returns_per_dim_coordinates():
+    f = paper_tv()
+    rows = f.projected(0)
+    assert rows[(2, 3)] == 1
+    assert set(rows.values()) <= set(range(4))
