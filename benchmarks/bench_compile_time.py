@@ -1,25 +1,69 @@
 """Section VII-C: compilation time — candidate enumeration stays in the same
 ballpark as Triton's autotuning (the paper: 48.4 s for 102 candidates vs
-57.1 s; here we check candidates are enumerated and timed, per compile)."""
+57.1 s; here we check candidates are enumerated and timed, per compile),
+plus the compile-cache smoke check: a warm (cached) recompile must be at
+least 5x faster than the cold compile, and a replay on an *equivalent*
+program (re-built from scratch, so a different object) must also beat the
+cold search while producing a bit-identical kernel."""
 
 import time
 
 from repro.compiler import compile_kernel
 from repro.kernels.gemm import GemmConfig, build_fp16_gemm
+from repro.pipeline import CompileCache
+
+CONFIG = GemmConfig(bm=128, bn=128, bk=32)
+PROBLEM = (256, 256, 512)
 
 
-def compile_many():
+def compile_cold_and_warm():
+    cache = CompileCache()
+    m, n, k = PROBLEM
+
+    program = build_fp16_gemm(m, n, k, CONFIG)
     start = time.perf_counter()
-    program = build_fp16_gemm(256, 256, 512, GemmConfig(bm=128, bn=128, bk=32))
-    compiled = compile_kernel(program, arch="h100", max_candidates=102, keep_alternatives=True)
-    elapsed = time.perf_counter() - start
-    return compiled, elapsed
+    cold = compile_kernel(program, arch="h100", max_candidates=102, cache=cache)
+    cold_s = time.perf_counter() - start
+
+    # Warm path 1: recompiling the very same program object is a direct
+    # cache hit.
+    start = time.perf_counter()
+    warm = compile_kernel(program, arch="h100", max_candidates=102, cache=cache)
+    warm_s = time.perf_counter() - start
+
+    # Warm path 2: an equivalent program built from scratch replays the
+    # cached instruction assignment (single-candidate evaluation, no search).
+    rebuilt = build_fp16_gemm(m, n, k, CONFIG)
+    start = time.perf_counter()
+    replay = compile_kernel(rebuilt, arch="h100", max_candidates=102, cache=cache)
+    replay_s = time.perf_counter() - start
+
+    return cold, warm, replay, cold_s, warm_s, replay_s
 
 
 def test_compile_time(once):
-    compiled, elapsed = once(compile_many)
+    cold, warm, replay, cold_s, warm_s, replay_s = once(compile_cold_and_warm)
     print()
-    print(f"explored {compiled.candidates_explored} candidates in {elapsed:.2f} s "
-          f"({elapsed / max(compiled.candidates_explored, 1) * 1000:.1f} ms per candidate)")
-    assert compiled.candidates_explored >= 10
-    assert elapsed < 120
+    print(f"cold: explored {cold.candidates_explored} candidates in {cold_s:.2f} s "
+          f"({cold_s / max(cold.candidates_explored, 1) * 1000:.1f} ms per candidate)")
+    for name, seconds in cold.pass_stats.items():
+        print(f"  {name}: {seconds * 1000:.1f} ms")
+    print(f"warm (same program, cache hit): {warm_s * 1000:.2f} ms "
+          f"({cold_s / max(warm_s, 1e-9):.0f}x faster)")
+    print(f"warm (equivalent program, replay): {replay_s * 1000:.1f} ms "
+          f"({cold_s / max(replay_s, 1e-9):.1f}x faster, "
+          f"{replay.candidates_explored} candidate evaluated)")
+
+    assert cold.candidates_explored >= 10
+    assert cold_s < 120
+    # The compile-cache smoke check: warm recompiles must be >= 5x faster.
+    assert warm.cache_hit and replay.cache_hit
+    assert warm_s * 5 <= cold_s
+    # The replay still runs all passes (layouts must be installed on the new
+    # program), but evaluates one candidate instead of searching ~100.
+    assert replay_s * 2 <= cold_s
+    assert replay.candidates_explored <= 2
+    # Bit-identical results on all warm paths.
+    for cached in (warm, replay):
+        assert cached.latency_us == cold.latency_us
+        assert cached.source == cold.source

@@ -11,8 +11,15 @@ DSL and runs, in order:
 5. the architecture timing model, producing the simulated kernel latency
    used by the benchmark harness.
 
+Since the pass-based refactor these stages live in :mod:`repro.pipeline`
+(``tv-synthesis``, ``instruction-selection``, ``smem-swizzle``, ``codegen``,
+``timing``), each independently invokable and timed; ``compile_kernel`` is a
+thin backward-compatible wrapper over :func:`repro.pipeline.compile_program`
+that consults the content-addressed compile cache before running passes.
+
 The result is a :class:`CompiledKernel` bundling the synthesized layouts,
-the chosen instructions, the emitted source and the latency estimate.
+the chosen instructions, the emitted source, the latency estimate, and the
+per-pass wall-time statistics of the compile that produced it.
 """
 
 from __future__ import annotations
@@ -20,15 +27,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.instructions.registry import InstructionSet, instruction_set
+from repro.instructions.registry import InstructionSet
 from repro.ir.graph import KernelProgram
-from repro.ir.ops import Copy
 from repro.ir.tensor import TileTensor
-from repro.sim.arch import GpuArch, get_arch
-from repro.sim.timing import KernelTiming, estimate_kernel_latency
+from repro.sim.arch import GpuArch
+from repro.sim.timing import KernelTiming
 from repro.synthesis.cost_model import CostBreakdown
-from repro.synthesis.search import Candidate, InstructionSelector
-from repro.synthesis.tv_solver import ThreadValueSolver, TVSolution
+from repro.synthesis.search import Candidate
+from repro.synthesis.tv_solver import TVSolution
 
 __all__ = ["CompiledKernel", "compile_kernel"]
 
@@ -46,6 +52,11 @@ class CompiledKernel:
     source: str
     candidates_explored: int = 0
     alternatives: list = field(default_factory=list)
+    # Per-pass wall time of the compile that produced this kernel, keyed by
+    # pass name (empty when the kernel came straight from the cache).
+    pass_stats: Dict[str, float] = field(default_factory=dict)
+    cache_hit: bool = False
+    fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -58,13 +69,18 @@ class CompiledKernel:
 
     def bytes_per_instruction(self) -> Dict[str, int]:
         """Per-copy vector width (bytes/thread/instruction), keyed by the
-        copied tensor's name and direction — the Table III / IV metric."""
+        copied tensor's name and direction — the Table III / IV metric.
+
+        The key uses the *memory-side* tensor of the copy: the source when
+        it lives in global/shared memory, otherwise the destination — so a
+        reg->smem store is keyed by the shared buffer it fills, not by the
+        register fragment."""
         result: Dict[str, int] = {}
         for op in self.program.copies():
             instr = self.candidate.assignment.get(op.op_id)
             if instr is None:
                 continue
-            moved = op.src if not op.src.is_shared or op.dst.is_register else op.src
+            moved = op.src if op.src.in_memory else op.dst
             key = f"{moved.name}:{op.direction}"
             result[key] = instr.vector_bytes
         return result
@@ -75,6 +91,10 @@ class CompiledKernel:
 
     def lines_of_code(self) -> int:
         return self.program.loc_estimate()
+
+    def compile_seconds(self) -> float:
+        """Total wall time spent in compiler passes for this kernel."""
+        return sum(self.pass_stats.values())
 
     def summary(self) -> str:
         lines = [
@@ -87,6 +107,11 @@ class CompiledKernel:
             f"stall {self.cost.stall_cycles:.0f})",
             f"  candidates explored: {self.candidates_explored}",
         ]
+        if self.pass_stats:
+            timed = ", ".join(
+                f"{name} {seconds * 1000:.1f} ms" for name, seconds in self.pass_stats.items()
+            )
+            lines.append(f"  pass times: {timed}")
         for op in self.program.copies():
             instr = self.candidate.assignment.get(op.op_id)
             if instr is not None:
@@ -109,50 +134,32 @@ def compile_kernel(
     max_candidates: int = 256,
     keep_alternatives: bool = False,
     copy_width_cap=None,
+    use_cache: bool = True,
+    cache=None,
 ) -> CompiledKernel:
     """Run the full Hexcute pipeline on a tile program.
 
     ``copy_width_cap`` is an optional hook ``Copy -> Optional[int]`` limiting
     the vector width considered for specific copies; the baseline/ablation
     harnesses use it to emulate compilers with weaker layout systems.
+    Setting it, or ``keep_alternatives``, bypasses the compile cache; pass
+    ``use_cache=False`` to force a fresh compile, or ``cache=`` to use a
+    specific :class:`repro.pipeline.CompileCache` instead of the process
+    default.
     """
-    gpu = get_arch(arch)
-    iset = instructions or instruction_set(gpu.sm_arch)
+    from repro.pipeline.context import CompileOptions
+    from repro.pipeline.driver import compile_program
 
-    tv_solution = ThreadValueSolver(program, iset).solve()
-
-    selector = InstructionSelector(
-        program,
-        tv_solution,
-        iset,
+    options = CompileOptions(
         max_candidates=max_candidates,
+        keep_alternatives=keep_alternatives,
         copy_width_cap=copy_width_cap,
+        use_cache=use_cache,
     )
-    alternatives = []
-    if keep_alternatives:
-        alternatives = selector.all_valid_candidates()
-        if not alternatives:
-            raise RuntimeError(f"kernel {program.name}: no valid candidate programs")
-        best = min(alternatives, key=lambda c: c.total_cycles)
-    else:
-        best = selector.best()
-    selector.apply(best)
-
-    cost = best.cost
-    timing = estimate_kernel_latency(program, cost, gpu)
-
-    from repro.codegen.cuda_emitter import emit_cuda_source
-
-    source = emit_cuda_source(program, best, gpu)
-
-    return CompiledKernel(
-        program=program,
-        arch=gpu,
-        tv_solution=tv_solution,
-        candidate=best,
-        cost=cost,
-        timing=timing,
-        source=source,
-        candidates_explored=selector.candidates_explored,
-        alternatives=alternatives,
+    return compile_program(
+        program,
+        arch=arch,
+        instructions=instructions,
+        options=options,
+        cache=cache,
     )

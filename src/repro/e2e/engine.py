@@ -12,6 +12,7 @@ generated tokens (decode steps are sequentially dependent).
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List
 
@@ -164,34 +165,56 @@ def decode_latency(
     batch_size: int = 32,
     output_tokens: int = 100,
     arch="h100",
+    parallel: bool = True,
 ) -> DecodeResult:
     """Latency of a full decode of ``output_tokens`` tokens.
 
     ``backend`` is ``"hexcute"`` for the Hexcute-integrated engine or
     ``"baseline"`` for the original vLLM implementation (Triton MoE, the
     Mamba library scan, CUTLASS FP8 GEMM, FlashInfer attention).
+
+    The per-operator kernels of a step are independent, so with ``parallel``
+    (the default) they are batch-compiled concurrently — each operator's
+    tile sweep already goes through ``repro.pipeline.compile_many``, and the
+    operators themselves are fanned out on a thread pool here.  Results are
+    deterministic and identical to the serial path.
     """
     gpu = get_arch(arch)
-    breakdown: Dict[str, float] = {}
 
-    attn_us = _attention_step_us(gpu, config, batch_size, backend)
-    breakdown["attention"] = attn_us * config.num_layers / 1000.0
-
-    step_us = attn_us * config.num_layers
+    # One thunk per operator class present in the model; all independent.
+    steps: Dict[str, Callable[[], float]] = {
+        "attention": lambda: _attention_step_us(gpu, config, batch_size, backend)
+    }
     if config.moe_layers:
         moe_backend = backend if backend != "baseline" else "triton"
-        moe_us = _moe_step_us(gpu, config, batch_size, moe_backend)
-        breakdown["moe"] = moe_us * config.moe_layers / 1000.0
-        step_us += moe_us * config.moe_layers
+        steps["moe"] = lambda: _moe_step_us(gpu, config, batch_size, moe_backend)
     if config.mamba_layers:
         scan_backend = backend if backend != "baseline" else "mamba-lib"
-        scan_us = _mamba_step_us(gpu, config, batch_size, scan_backend)
-        breakdown["mamba_scan"] = scan_us * config.mamba_layers / 1000.0
-        step_us += scan_us * config.mamba_layers
+        steps["mamba_scan"] = lambda: _mamba_step_us(gpu, config, batch_size, scan_backend)
     if config.dense_ffn_layers:
-        ffn_us = _ffn_step_us(gpu, config, batch_size, backend)
-        breakdown["ffn"] = ffn_us * config.dense_ffn_layers / 1000.0
-        step_us += ffn_us * config.dense_ffn_layers
+        steps["ffn"] = lambda: _ffn_step_us(gpu, config, batch_size, backend)
+
+    if parallel and len(steps) > 1:
+        with ThreadPoolExecutor(max_workers=len(steps)) as pool:
+            futures = {name: pool.submit(fn) for name, fn in steps.items()}
+            per_op_us = {name: future.result() for name, future in futures.items()}
+    else:
+        per_op_us = {name: fn() for name, fn in steps.items()}
+
+    layer_counts = {
+        "attention": config.num_layers,
+        "moe": config.moe_layers,
+        "mamba_scan": config.mamba_layers,
+        "ffn": config.dense_ffn_layers,
+    }
+    breakdown: Dict[str, float] = {}
+    step_us = 0.0
+    for name in ("attention", "moe", "mamba_scan", "ffn"):
+        if name not in per_op_us:
+            continue
+        total_us = per_op_us[name] * layer_counts[name]
+        breakdown[name] = total_us / 1000.0
+        step_us += total_us
 
     return DecodeResult(
         model=config.name,

@@ -6,14 +6,76 @@ tile sizes; the paper notes that *non-power-of-two* tiles are selected for
 performance.  The tuner below evaluates candidate tile configurations with
 the compiler's analytical latency estimate (no hardware runs needed) and
 returns the best configuration.
+
+Two evaluation paths exist:
+
+* :func:`autotune` — the original callback API: a user-supplied ``evaluate``
+  is called per candidate, serially.
+* :func:`autotune_compile` — the batch path: a ``build_program`` callback
+  turns each candidate into a :class:`KernelProgram` and the whole sweep is
+  compiled through :func:`repro.pipeline.compile_many`, which dedupes
+  repeated configurations via the compile cache and fans distinct compiles
+  out on a thread pool.
+
+Both record *every* candidate as a :class:`Trial` — infeasible ones keep the
+exception message that disqualified them, so tuning failures are debuggable
+instead of silently dropped.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
 
-__all__ = ["TuneResult", "autotune", "gemm_tile_candidates"]
+from repro.ir.graph import ProgramError
+from repro.synthesis.search import SelectionError
+from repro.synthesis.smem_solver import SmemSynthesisError
+from repro.synthesis.tv_solver import TVSynthesisError
+
+__all__ = [
+    "Trial",
+    "TuneResult",
+    "autotune",
+    "autotune_compile",
+    "gemm_tile_candidates",
+    "INFEASIBLE_ERRORS",
+]
+
+# The compiler-domain failures that mark a candidate configuration as
+# infeasible (rather than crashing the sweep): structural program errors,
+# unsatisfiable layout synthesis, the shape/validation ValueErrors the DSL
+# builders raise for tiles that do not divide the problem, and RuntimeError
+# because compiler infeasibility surfaces as one ("no valid candidate
+# programs", layouts accessed before synthesis).  Anything outside this
+# tuple — KeyError typos, AttributeError, MemoryError, interrupts —
+# propagates as the bug it is.
+INFEASIBLE_ERRORS = (
+    ProgramError,
+    TVSynthesisError,
+    SmemSynthesisError,
+    SelectionError,
+    ValueError,
+    RuntimeError,
+)
+
+
+@dataclass
+class Trial:
+    """One evaluated candidate configuration.
+
+    ``latency_us`` is ``None`` for infeasible candidates, with ``error``
+    recording why the candidate was rejected.  The batch path additionally
+    keeps the compiled kernel of feasible candidates.
+    """
+
+    params: Dict
+    latency_us: Optional[float]
+    error: Optional[str] = None
+    kernel: Optional[object] = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.latency_us is not None
 
 
 @dataclass
@@ -22,11 +84,50 @@ class TuneResult:
 
     best_params: Dict
     best_latency_us: float
-    trials: List[Tuple[Dict, float]]
+    trials: List[Trial]
+    best_kernel: Optional[object] = field(default=None, repr=False)
 
     @property
     def num_trials(self) -> int:
         return len(self.trials)
+
+    @property
+    def num_feasible(self) -> int:
+        return sum(1 for trial in self.trials if trial.ok)
+
+    def failures(self) -> List[Trial]:
+        """The infeasible trials, each carrying its rejection reason."""
+        return [trial for trial in self.trials if not trial.ok]
+
+
+# RuntimeError is in the infeasible set, but these subclasses of it are
+# always bugs/environment failures, never a property of the candidate.
+_ALWAYS_RAISE = (RecursionError, NotImplementedError)
+
+
+def _describe_error(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _pick_best(trials: List[Trial]) -> TuneResult:
+    best: Optional[Trial] = None
+    for trial in trials:
+        if trial.ok and (best is None or trial.latency_us < best.latency_us):
+            best = trial
+    if best is None:
+        reasons = "; ".join(
+            f"{trial.params}: {trial.error}" for trial in trials[:5] if trial.error
+        )
+        raise RuntimeError(
+            "autotune: no feasible candidate configuration"
+            + (f" ({reasons})" if reasons else "")
+        )
+    return TuneResult(
+        best_params=best.params,
+        best_latency_us=best.latency_us,
+        trials=trials,
+        best_kernel=best.kernel,
+    )
 
 
 def autotune(
@@ -37,25 +138,84 @@ def autotune(
 
     ``evaluate`` returns the simulated latency in microseconds, or ``None``
     if the candidate is infeasible (e.g. tile sizes that do not divide the
-    problem or exceed shared memory).
+    problem or exceed shared memory); compiler-domain exceptions are caught
+    and recorded on the trial instead of aborting the sweep.
     """
-    trials: List[Tuple[Dict, float]] = []
-    best_params: Optional[Dict] = None
-    best_latency = float("inf")
+    trials: List[Trial] = []
     for params in candidates:
         try:
             latency = evaluate(params)
-        except Exception:
-            latency = None
-        if latency is None:
+        except INFEASIBLE_ERRORS as exc:
+            if isinstance(exc, _ALWAYS_RAISE):
+                raise
+            trials.append(Trial(params=params, latency_us=None, error=_describe_error(exc)))
             continue
-        trials.append((params, latency))
-        if latency < best_latency:
-            best_latency = latency
-            best_params = params
-    if best_params is None:
-        raise RuntimeError("autotune: no feasible candidate configuration")
-    return TuneResult(best_params=best_params, best_latency_us=best_latency, trials=trials)
+        if latency is None:
+            trials.append(
+                Trial(params=params, latency_us=None, error="evaluate returned None")
+            )
+            continue
+        trials.append(Trial(params=params, latency_us=latency))
+    return _pick_best(trials)
+
+
+def autotune_compile(
+    build_program: Callable[[Dict], object],
+    candidates: Iterable[Dict],
+    arch=80,
+    instructions=None,
+    max_workers: Optional[int] = None,
+    cache=None,
+    **compile_options,
+) -> TuneResult:
+    """Batch-compile a tile sweep through the pipeline and keep the fastest.
+
+    ``build_program`` maps a candidate parameter dict to a
+    :class:`KernelProgram`; the built programs are compiled together via
+    :func:`repro.pipeline.compile_many` (parallel across distinct
+    fingerprints, cache hits replayed).  Build or compile failures become
+    infeasible trials carrying their exception message.
+    """
+    from repro.pipeline.driver import compile_many
+
+    candidates = list(candidates)
+    trials: List[Optional[Trial]] = [None] * len(candidates)
+    programs = []
+    indices = []
+    for index, params in enumerate(candidates):
+        try:
+            programs.append(build_program(params))
+        except INFEASIBLE_ERRORS as exc:
+            if isinstance(exc, _ALWAYS_RAISE):
+                raise
+            trials[index] = Trial(params=params, latency_us=None, error=_describe_error(exc))
+            continue
+        indices.append(index)
+
+    outcomes = compile_many(
+        programs,
+        arch=arch,
+        instructions=instructions,
+        cache=cache,
+        max_workers=max_workers,
+        return_errors=True,
+        **compile_options,
+    )
+    for index, outcome in zip(indices, outcomes):
+        params = candidates[index]
+        if isinstance(outcome, BaseException):
+            if not isinstance(outcome, INFEASIBLE_ERRORS) or isinstance(
+                outcome, _ALWAYS_RAISE
+            ):
+                raise outcome
+            trials[index] = Trial(
+                params=params, latency_us=None, error=_describe_error(outcome)
+            )
+        else:
+            trials[index] = Trial(
+                params=params, latency_us=outcome.latency_us, kernel=outcome
+            )
+    return _pick_best([trial for trial in trials if trial is not None])
 
 
 def gemm_tile_candidates(

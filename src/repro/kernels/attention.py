@@ -23,7 +23,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.compiler import CompiledKernel, compile_kernel
+from repro.compiler import CompiledKernel
+from repro.pipeline import compile_program
 from repro.frontend.script import KernelBuilder
 from repro.ir import types
 from repro.kernels.common import OperatorResult, ceil_div
@@ -229,7 +230,7 @@ class AttentionOperator:
             program = build_mha_decoding(seq_len, head_dim, num_heads, batch)
             flops = 4.0 * batch * num_heads * seq_len * head_dim
             bytes_moved = 2.0 * batch * num_heads * seq_len * head_dim * 2
-        kernel = compile_kernel(program, arch=self.arch, max_candidates=self.max_candidates)
+        kernel = compile_program(program, arch=self.arch, max_candidates=self.max_candidates)
         return OperatorResult(
             name=f"mha_{self.mode}_{batch}x{num_heads}x{seq_len}x{head_dim}",
             arch=self.arch,

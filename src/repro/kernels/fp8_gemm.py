@@ -14,8 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.compiler import CompiledKernel, compile_kernel
-from repro.frontend.autotune import autotune, gemm_tile_candidates
+from repro.frontend.autotune import autotune_compile, gemm_tile_candidates
 from repro.frontend.script import KernelBuilder
 from repro.ir import types
 from repro.kernels.common import OperatorResult, ceil_div
@@ -103,10 +102,9 @@ class Fp8GemmOperator:
         self.max_candidates = max_candidates
         self.max_tile_trials = max_tile_trials
 
-    def _compile(self, m: int, n: int, k: int, params: dict) -> CompiledKernel:
+    def _build(self, m: int, n: int, k: int, params: dict):
         config = Fp8GemmConfig(bm=params["bm"], bn=params["bn"], bk=128)
-        program = build_fp8_blockwise_gemm(m, n, k, config)
-        return compile_kernel(program, arch=self.arch, max_candidates=self.max_candidates)
+        return build_fp8_blockwise_gemm(m, n, k, config)
 
     def run(self, m: int, n: int, k: int) -> OperatorResult:
         candidates = [
@@ -124,15 +122,15 @@ class Fp8GemmOperator:
         unique = unique[: self.max_tile_trials] or [{"bm": 128, "bn": 128}]
         if {"bm": 128, "bn": 128} not in unique:
             unique.append({"bm": 128, "bn": 128})
-        compiled: dict = {}
-
-        def evaluate(params):
-            kernel = self._compile(m, n, k, params)
-            compiled[tuple(sorted(params.items()))] = kernel
-            return kernel.latency_us
-
-        tuned = autotune(evaluate, unique)
-        best = compiled[tuple(sorted(tuned.best_params.items()))]
+        # Batch-compile the tile sweep through the pipeline (parallel +
+        # cached), keeping the fastest configuration.
+        tuned = autotune_compile(
+            lambda params: self._build(m, n, k, params),
+            unique,
+            arch=self.arch,
+            max_candidates=self.max_candidates,
+        )
+        best = tuned.best_kernel
         return OperatorResult(
             name=f"fp8_blockwise_gemm_{m}x{n}x{k}",
             arch=self.arch,

@@ -19,8 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.compiler import CompiledKernel, compile_kernel
-from repro.frontend.autotune import autotune, gemm_tile_candidates
+from repro.frontend.autotune import autotune_compile, gemm_tile_candidates
 from repro.frontend.script import KernelBuilder
 from repro.ir import types
 from repro.kernels.common import OperatorResult, ceil_div
@@ -168,7 +167,7 @@ class GemmOperator:
         self.max_candidates = max_candidates
         self.max_tile_trials = max_tile_trials
 
-    def _compile(self, m: int, n: int, k: int, params: dict) -> CompiledKernel:
+    def _build(self, m: int, n: int, k: int, params: dict):
         config = GemmConfig(
             bm=params["bm"],
             bn=params["bn"],
@@ -177,10 +176,8 @@ class GemmOperator:
             num_stages=4 if self.warp_specialized else 3,
         )
         if self.warp_specialized:
-            program = build_warp_specialized_gemm(m, n, k, config)
-        else:
-            program = build_fp16_gemm(m, n, k, config)
-        return compile_kernel(program, arch=self.arch, max_candidates=self.max_candidates)
+            return build_warp_specialized_gemm(m, n, k, config)
+        return build_fp16_gemm(m, n, k, config)
 
     def run(self, m: int, n: int, k: int) -> OperatorResult:
         """Tile-size autotune + compile, returning the best configuration."""
@@ -204,15 +201,16 @@ class GemmOperator:
             feasible = fallback["bm"] <= max(64, m) and fallback["bn"] <= max(64, n)
             if feasible and fallback not in candidates:
                 candidates.append(fallback)
-        compiled: dict = {}
 
-        def evaluate(params):
-            kernel = self._compile(m, n, k, params)
-            compiled[tuple(sorted(params.items()))] = kernel
-            return kernel.latency_us
-
-        tuned = autotune(evaluate, candidates)
-        best = compiled[tuple(sorted(tuned.best_params.items()))]
+        # Batch-compile the whole tile sweep: distinct tilings compile in
+        # parallel, repeats are served from the compile cache.
+        tuned = autotune_compile(
+            lambda params: self._build(m, n, k, params),
+            candidates,
+            arch=self.arch,
+            max_candidates=self.max_candidates,
+        )
+        best = tuned.best_kernel
         name = "ws_fp16_gemm" if self.warp_specialized else "fp16_gemm"
         return OperatorResult(
             name=f"{name}_{m}x{n}x{k}",
@@ -226,6 +224,6 @@ class GemmOperator:
                 "bm": tuned.best_params["bm"],
                 "bn": tuned.best_params["bn"],
                 "bk": tuned.best_params["bk"],
-                "tile_trials": tuned.num_trials,
+                "tile_trials": tuned.num_feasible,
             },
         )

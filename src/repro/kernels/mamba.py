@@ -21,7 +21,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.compiler import CompiledKernel, compile_kernel
+from repro.compiler import CompiledKernel
+from repro.pipeline import compile_program
 from repro.frontend.script import KernelBuilder
 from repro.instructions.registry import InstructionSet, instruction_set
 from repro.ir import types
@@ -190,7 +191,7 @@ class SelectiveScanOperator:
         instructions = instruction_set(self.arch.sm_arch)
         if self.instruction_cap_bytes is not None:
             instructions = _narrow_instruction_set(instructions, self.instruction_cap_bytes)
-        return compile_kernel(
+        return compile_program(
             program,
             arch=self.arch,
             instructions=instructions,

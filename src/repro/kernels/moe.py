@@ -26,7 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.compiler import CompiledKernel, compile_kernel
+from repro.compiler import CompiledKernel
+from repro.pipeline import compile_program
 from repro.frontend.script import KernelBuilder
 from repro.instructions.registry import InstructionSet, instruction_set
 from repro.ir import types
@@ -217,7 +218,7 @@ class MixedTypeMoeOperator:
         program = build_moe_gemm(
             tokens_per_expert, self.n, self.k, dataflow=self.dataflow
         )
-        return compile_kernel(
+        return compile_program(
             program,
             arch=self.arch,
             instructions=self._instruction_set(),

@@ -1,0 +1,100 @@
+"""The compilation context threaded through the pass pipeline.
+
+A :class:`CompilationContext` carries the inputs of one compile (program,
+architecture, instruction set, options) plus every artifact the passes
+accumulate: the thread-value solution, the selected candidate, the shared
+memory plans embedded in it, the cost breakdown, the emitted source, the
+timing estimate and per-pass wall-time statistics.  Each pass reads the
+fields produced by its predecessors and fills in its own, so any prefix of
+the pipeline can be run (and inspected) independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.instructions.registry import InstructionSet
+from repro.ir.graph import KernelProgram
+from repro.sim.arch import GpuArch
+
+__all__ = ["CompileOptions", "CompileRequest", "CompilationContext"]
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """User-facing knobs of one compilation.
+
+    ``copy_width_cap`` is an optional hook ``Copy -> Optional[int]`` limiting
+    the vector width considered for specific copies; the baseline/ablation
+    harnesses use it to emulate compilers with weaker layout systems.  Since
+    an arbitrary callable cannot be fingerprinted, setting it (like setting
+    ``keep_alternatives``, whose exhaustive candidate list a cached replay
+    cannot reproduce) makes the compile bypass the cache.
+    """
+
+    max_candidates: int = 256
+    keep_alternatives: bool = False
+    copy_width_cap: Optional[Callable] = None
+    use_cache: bool = True
+
+    @property
+    def cacheable(self) -> bool:
+        return (
+            self.use_cache
+            and self.copy_width_cap is None
+            and not self.keep_alternatives
+        )
+
+
+@dataclass
+class CompileRequest:
+    """One unit of work for :func:`repro.pipeline.compile_many`.
+
+    ``arch``/``instructions``/``options`` default to the batch-level values
+    passed to ``compile_many`` when left unset.
+    """
+
+    program: KernelProgram
+    arch: Optional[object] = None  # anything accepted by sim.arch.get_arch
+    instructions: Optional[InstructionSet] = None
+    options: Optional[CompileOptions] = None
+
+
+@dataclass
+class CompilationContext:
+    """Inputs plus accumulated artifacts of one compilation."""
+
+    program: KernelProgram
+    arch: GpuArch
+    instructions: InstructionSet
+    options: CompileOptions = field(default_factory=CompileOptions)
+
+    # --- artifacts, in pass order ------------------------------------- #
+    tv_solution: Optional[object] = None  # synthesis.tv_solver.TVSolution
+    selector: Optional[object] = None  # synthesis.search.InstructionSelector
+    candidate: Optional[object] = None  # synthesis.search.Candidate
+    alternatives: List[object] = field(default_factory=list)
+    cost: Optional[object] = None  # synthesis.cost_model.CostBreakdown
+    source: Optional[str] = None
+    timing: Optional[object] = None  # sim.timing.KernelTiming
+    candidates_explored: int = 0
+
+    # --- cache / replay state ------------------------------------------ #
+    # A cached instruction assignment, one (name, direction, vector_bytes)
+    # triple per copy in program order.  When set, instruction selection
+    # evaluates exactly this leaf instead of searching.
+    seed_assignment: Optional[Sequence[Tuple[str, str, int]]] = None
+    cache_key: Optional[str] = None
+    cache_hit: bool = False
+    replayed: bool = False
+
+    # --- instrumentation ------------------------------------------------ #
+    pass_stats: Dict[str, float] = field(default_factory=dict)
+
+    def stat(self, name: str) -> float:
+        return self.pass_stats.get(name, 0.0)
+
+    @property
+    def total_pass_seconds(self) -> float:
+        return sum(self.pass_stats.values())

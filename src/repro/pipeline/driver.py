@@ -1,0 +1,227 @@
+"""Pipeline drivers: single compiles, cached replays and batch compiles.
+
+:func:`compile_program` is the canonical entry point of the refactored
+compiler: it resolves the architecture/instruction set, consults the
+compile cache, runs the :class:`PassManager`, and packages the context
+into a :class:`~repro.compiler.CompiledKernel`.  ``repro.compiler
+.compile_kernel`` remains as a thin backward-compatible wrapper around it.
+
+:func:`compile_many` batch-compiles a list of programs/requests, deduping
+identical work through the cache and fanning the distinct compiles out on
+a thread pool (``concurrent.futures``) — the substrate of the parallel
+autotuning path in :mod:`repro.frontend.autotune`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.instructions.registry import InstructionSet, instruction_set
+from repro.ir.graph import KernelProgram
+from repro.pipeline.cache import CacheEntry, CompileCache, compile_key, default_cache
+from repro.pipeline.context import CompilationContext, CompileOptions, CompileRequest
+from repro.pipeline.passes import PassManager
+from repro.sim.arch import get_arch
+
+__all__ = ["compile_program", "compile_many"]
+
+
+def _source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _build_options(options: Optional[CompileOptions], option_kwargs: dict) -> CompileOptions:
+    if options is None:
+        return CompileOptions(**option_kwargs)
+    if option_kwargs:
+        return replace(options, **option_kwargs)
+    return options
+
+
+def _finish(ctx: CompilationContext):
+    """Package a fully-run context into a CompiledKernel."""
+    from repro.compiler import CompiledKernel
+
+    return CompiledKernel(
+        program=ctx.program,
+        arch=ctx.arch,
+        tv_solution=ctx.tv_solution,
+        candidate=ctx.candidate,
+        cost=ctx.cost,
+        timing=ctx.timing,
+        source=ctx.source,
+        candidates_explored=ctx.candidates_explored,
+        alternatives=ctx.alternatives,
+        pass_stats=dict(ctx.pass_stats),
+        cache_hit=ctx.cache_hit,
+        fingerprint=ctx.cache_key,
+    )
+
+
+def compile_program(
+    program: KernelProgram,
+    arch=80,
+    instructions: Optional[InstructionSet] = None,
+    options: Optional[CompileOptions] = None,
+    cache: Optional[CompileCache] = None,
+    pass_manager: Optional[PassManager] = None,
+    **option_kwargs,
+):
+    """Run the pass pipeline on one tile program, consulting the cache.
+
+    Keyword compile options (``max_candidates``, ``keep_alternatives``,
+    ``copy_width_cap``, ``use_cache``) may be given directly or bundled in
+    an explicit :class:`CompileOptions`.
+    """
+    gpu = get_arch(arch)
+    iset = instructions or instruction_set(gpu.sm_arch)
+    opts = _build_options(options, option_kwargs)
+    cache = cache if cache is not None else default_cache()
+    manager = pass_manager or PassManager()
+
+    key = compile_key(program, gpu, iset, opts) if opts.cacheable else None
+    entry = cache.get(key) if opts.use_cache else None
+
+    ctx = CompilationContext(program=program, arch=gpu, instructions=iset, options=opts)
+    ctx.cache_key = key
+
+    if entry is not None:
+        # Same program object, already carrying its synthesized layouts and
+        # instructions: the pinned kernel *is* the answer.
+        if entry.kernel is not None and entry.kernel.program is program:
+            return replace(entry.kernel, cache_hit=True)
+        # Equivalent program: replay the cached winning assignment through
+        # the pipeline.  All passes run (so the new program gets identical
+        # layouts installed), but instruction selection evaluates exactly
+        # one candidate instead of searching.
+        ctx.seed_assignment = entry.assignment
+
+    manager.run(ctx)
+    if ctx.replayed:
+        ctx.cache_hit = True
+        cache.note_replay()
+    # A seed that failed to resolve (e.g. a damaged disk entry) fell back to
+    # the full search: treat it as a miss so the stale entry is repaired.
+    kernel = _finish(ctx)
+
+    if key is not None and not ctx.cache_hit:
+        cache.put(
+            key,
+            CacheEntry(
+                key=key,
+                program_name=program.name,
+                assignment=ctx.candidate.named_assignment(program),
+                latency_us=kernel.latency_us,
+                source_digest=_source_digest(kernel.source),
+                pass_stats=dict(ctx.pass_stats),
+                kernel=kernel,
+            ),
+        )
+    return kernel
+
+
+def _normalize_request(
+    item: Union[CompileRequest, KernelProgram],
+    arch,
+    instructions: Optional[InstructionSet],
+    options: CompileOptions,
+) -> CompileRequest:
+    if isinstance(item, CompileRequest):
+        return CompileRequest(
+            program=item.program,
+            arch=item.arch if item.arch is not None else arch,
+            instructions=item.instructions if item.instructions is not None else instructions,
+            options=item.options if item.options is not None else options,
+        )
+    return CompileRequest(program=item, arch=arch, instructions=instructions, options=options)
+
+
+def compile_many(
+    programs: Sequence[Union[CompileRequest, KernelProgram]],
+    arch=80,
+    instructions: Optional[InstructionSet] = None,
+    options: Optional[CompileOptions] = None,
+    cache: Optional[CompileCache] = None,
+    max_workers: Optional[int] = None,
+    return_errors: bool = False,
+    **option_kwargs,
+) -> List[object]:
+    """Batch-compile tile programs, in parallel, through the shared cache.
+
+    Results are returned in request order.  Identical requests (same
+    fingerprint) are compiled once and replayed for the duplicates.  With
+    ``return_errors=True``, a failing compile yields its exception in the
+    result list instead of raising — the autotuner uses this to record *why*
+    a tile candidate was infeasible.
+    """
+    opts = _build_options(options, option_kwargs)
+    cache = cache if cache is not None else default_cache()
+    requests = [_normalize_request(item, arch, instructions, opts) for item in programs]
+    if not requests:
+        return []
+
+    # Group by fingerprint so concurrent workers never race to compile the
+    # same program; uncacheable requests each form their own group.
+    groups: Dict[object, List[int]] = {}
+    for index, request in enumerate(requests):
+        request_opts = request.options or opts
+        if request_opts.cacheable:
+            gpu = get_arch(request.arch)
+            iset = request.instructions or instruction_set(gpu.sm_arch)
+            key = compile_key(request.program, gpu, iset, request_opts)
+        else:
+            key = object()  # unique: never deduped
+        groups.setdefault(key, []).append(index)
+
+    results: List[object] = [None] * len(requests)
+
+    def compile_one(index: int):
+        request = requests[index]
+        return compile_program(
+            request.program,
+            arch=request.arch,
+            instructions=request.instructions,
+            options=request.options,
+            cache=cache,
+        )
+
+    leaders = [indices[0] for indices in groups.values()]
+    workers = max_workers or min(len(leaders), os.cpu_count() or 4)
+    errors: Dict[int, BaseException] = {}
+    if workers > 1 and len(leaders) > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = {index: pool.submit(compile_one, index) for index in leaders}
+            for index, future in futures.items():
+                try:
+                    results[index] = future.result()
+                except Exception as exc:  # noqa: BLE001 - reported per-request
+                    errors[index] = exc
+    else:
+        for index in leaders:
+            try:
+                results[index] = compile_one(index)
+            except Exception as exc:  # noqa: BLE001 - reported per-request
+                errors[index] = exc
+
+    # Duplicates compile after their leader: a cache hit (replay) when
+    # cacheable, and a leader failure propagates to its duplicates.
+    for key, indices in groups.items():
+        leader = indices[0]
+        for index in indices[1:]:
+            if leader in errors:
+                errors[index] = errors[leader]
+                continue
+            try:
+                results[index] = compile_one(index)
+            except Exception as exc:  # noqa: BLE001 - reported per-request
+                errors[index] = exc
+
+    if errors and not return_errors:
+        raise next(iter(errors.values()))
+    for index, exc in errors.items():
+        results[index] = exc
+    return results

@@ -1,0 +1,199 @@
+"""The named passes of the Hexcute compilation pipeline (Fig. 6 c).
+
+The monolithic ``compile_kernel`` of the seed is decomposed into five
+passes, each reading/writing fields of a :class:`CompilationContext`:
+
+==================== ==================================================== =
+pass                 produces
+==================== ==================================================== =
+``tv-synthesis``     ``ctx.tv_solution`` (Algorithm 1)
+``instruction-       ``ctx.selector``, ``ctx.candidate``, ``ctx.cost``,
+selection``          ``ctx.alternatives``, ``ctx.candidates_explored``
+``smem-swizzle``     installs the winning instructions, shared-memory
+                     layouts and swizzles on the program tensors
+``codegen``          ``ctx.source``
+``timing``           ``ctx.timing``
+==================== ==================================================== =
+
+:class:`PassManager` runs a pass list in order, recording per-pass wall
+time in ``ctx.pass_stats``; ``until=`` runs only a prefix, and individual
+passes can be invoked directly for surgical re-runs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.pipeline.context import CompilationContext
+from repro.sim.timing import estimate_kernel_latency
+from repro.synthesis.search import InstructionSelector
+from repro.synthesis.tv_solver import ThreadValueSolver
+
+__all__ = [
+    "CompilerPass",
+    "TVSynthesisPass",
+    "InstructionSelectionPass",
+    "SmemSwizzlePass",
+    "CodegenPass",
+    "TimingPass",
+    "PassManager",
+    "PASS_REGISTRY",
+    "DEFAULT_PASS_NAMES",
+    "default_pass_manager",
+]
+
+
+class CompilerPass:
+    """Base class: a named, independently invokable pipeline stage."""
+
+    name = "pass"
+
+    def run(self, ctx: CompilationContext) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<pass {self.name}>"
+
+
+class TVSynthesisPass(CompilerPass):
+    """Thread-value layout synthesis (Algorithm 1, Section IV)."""
+
+    name = "tv-synthesis"
+
+    def run(self, ctx: CompilationContext) -> None:
+        ctx.tv_solution = ThreadValueSolver(ctx.program, ctx.instructions).solve()
+
+
+class InstructionSelectionPass(CompilerPass):
+    """DFS over the instruction search tree, ranked by the cost model.
+
+    When ``ctx.seed_assignment`` holds a cached winning assignment, the pass
+    evaluates exactly that leaf (shared-memory synthesis + cost model for a
+    single candidate) instead of enumerating the tree — the cache replay
+    fast path.  If the seed cannot be resolved against the current
+    instruction set or turns out invalid, the full search runs as usual.
+    """
+
+    name = "instruction-selection"
+
+    def run(self, ctx: CompilationContext) -> None:
+        if ctx.tv_solution is None:
+            raise RuntimeError("instruction-selection requires tv-synthesis to have run")
+        selector = InstructionSelector(
+            ctx.program,
+            ctx.tv_solution,
+            ctx.instructions,
+            max_candidates=ctx.options.max_candidates,
+            copy_width_cap=ctx.options.copy_width_cap,
+        )
+        ctx.selector = selector
+
+        best = None
+        if ctx.seed_assignment is not None:
+            assignment = selector.resolve_named_assignment(ctx.seed_assignment)
+            if assignment is not None:
+                best = selector.evaluate(assignment)
+                ctx.replayed = best is not None
+        if best is None:
+            if ctx.options.keep_alternatives:
+                alternatives = selector.all_valid_candidates()
+                if not alternatives:
+                    raise RuntimeError(
+                        f"kernel {ctx.program.name}: no valid candidate programs"
+                    )
+                best = min(alternatives, key=lambda c: c.total_cycles)
+                ctx.alternatives = alternatives
+            else:
+                best = selector.best()
+        ctx.candidate = best
+        ctx.cost = best.cost
+        ctx.candidates_explored = selector.candidates_explored
+
+
+class SmemSwizzlePass(CompilerPass):
+    """Install the winning instructions and shared-memory (swizzled) layouts."""
+
+    name = "smem-swizzle"
+
+    def run(self, ctx: CompilationContext) -> None:
+        if ctx.selector is None or ctx.candidate is None:
+            raise RuntimeError("smem-swizzle requires instruction-selection to have run")
+        ctx.selector.apply(ctx.candidate)
+
+
+class CodegenPass(CompilerPass):
+    """Lowering / CUDA-like source emission."""
+
+    name = "codegen"
+
+    def run(self, ctx: CompilationContext) -> None:
+        if ctx.candidate is None:
+            raise RuntimeError("codegen requires a selected candidate")
+        from repro.codegen.cuda_emitter import emit_cuda_source
+
+        ctx.source = emit_cuda_source(ctx.program, ctx.candidate, ctx.arch)
+
+
+class TimingPass(CompilerPass):
+    """The architecture timing model producing the simulated kernel latency."""
+
+    name = "timing"
+
+    def run(self, ctx: CompilationContext) -> None:
+        if ctx.cost is None:
+            raise RuntimeError("timing requires a selected candidate's cost")
+        ctx.timing = estimate_kernel_latency(ctx.program, ctx.cost, ctx.arch)
+
+
+PASS_REGISTRY: Dict[str, type] = {
+    cls.name: cls
+    for cls in (
+        TVSynthesisPass,
+        InstructionSelectionPass,
+        SmemSwizzlePass,
+        CodegenPass,
+        TimingPass,
+    )
+}
+
+DEFAULT_PASS_NAMES: List[str] = list(PASS_REGISTRY)
+
+
+class PassManager:
+    """Runs a sequence of passes over a context, timing each one."""
+
+    def __init__(self, passes: Optional[Sequence[CompilerPass]] = None):
+        if passes is None:
+            passes = [PASS_REGISTRY[name]() for name in DEFAULT_PASS_NAMES]
+        self.passes: List[CompilerPass] = list(passes)
+
+    @classmethod
+    def from_names(cls, names: Sequence[str]) -> "PassManager":
+        unknown = [name for name in names if name not in PASS_REGISTRY]
+        if unknown:
+            raise KeyError(f"unknown pass(es): {unknown}; known: {DEFAULT_PASS_NAMES}")
+        return cls([PASS_REGISTRY[name]() for name in names])
+
+    def pass_names(self) -> List[str]:
+        return [p.name for p in self.passes]
+
+    def run(self, ctx: CompilationContext, until: Optional[str] = None) -> CompilationContext:
+        """Run the pipeline, stopping after the pass named ``until`` (inclusive)."""
+        if until is not None and until not in self.pass_names():
+            raise KeyError(f"pass {until!r} is not in this pipeline: {self.pass_names()}")
+        for compiler_pass in self.passes:
+            start = time.perf_counter()
+            compiler_pass.run(ctx)
+            ctx.pass_stats[compiler_pass.name] = (
+                ctx.pass_stats.get(compiler_pass.name, 0.0)
+                + time.perf_counter()
+                - start
+            )
+            if compiler_pass.name == until:
+                break
+        return ctx
+
+
+def default_pass_manager() -> PassManager:
+    return PassManager()

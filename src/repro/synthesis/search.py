@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.instructions.instruction import MemoryInstruction
 from repro.instructions.registry import InstructionSet
@@ -63,6 +63,16 @@ class Candidate:
         for op_id, instr in self.assignment.items():
             result[str(op_id)] = instr.vector_bytes
         return result
+
+    def named_assignment(self, program: KernelProgram) -> List[tuple]:
+        """The assignment as ``(name, direction, vector_bytes)`` triples in
+        program-copy order — a stable, serializable form used by the compile
+        cache to replay the winning leaf on an equivalent program."""
+        named = []
+        for copy in program.copies():
+            instr = self.assignment[copy.op_id]
+            named.append((instr.name, instr.direction, instr.vector_bytes))
+        return named
 
 
 class InstructionSelector:
@@ -177,6 +187,39 @@ class InstructionSelector:
                 if extent % elems == 0:
                     return True
         return False
+
+    def resolve_named_assignment(
+        self, named: Sequence[tuple]
+    ) -> Optional[Dict[int, MemoryInstruction]]:
+        """Map ``(name, direction, vector_bytes)`` triples (one per copy in
+        program order, cf. :meth:`Candidate.named_assignment`) back onto this
+        program's copies.  Each triple must resolve to an instruction the
+        current per-copy validity rules would still offer (so a persisted
+        assignment from an older code revision cannot replay choices the
+        present search would reject).  Returns ``None`` when the program
+        shape, instruction set or validity rules no longer match — callers
+        fall back to the full search."""
+        copies = self.program.copies()
+        if len(named) != len(copies):
+            return None
+        assignment: Dict[int, MemoryInstruction] = {}
+        for copy, (name, direction, vector_bytes) in zip(copies, named):
+            if copy.direction != direction:
+                return None
+            instr = next(
+                (
+                    i
+                    for i in self.candidate_instructions(copy)
+                    if i.name == name
+                    and i.direction == direction
+                    and i.vector_bytes == vector_bytes
+                ),
+                None,
+            )
+            if instr is None:
+                return None
+            assignment[copy.op_id] = instr
+        return assignment
 
     # ------------------------------------------------------------------ #
     # Search

@@ -72,6 +72,26 @@ def test_timing_scales_with_grid():
     assert big.latency_us > small.latency_us
 
 
+def test_bytes_per_instruction_keys_memory_side_tensor():
+    """The Table III/IV metric keys each copy by its *memory-side* tensor:
+    a reg->smem store is keyed by the shared destination buffer, never by
+    the register fragment (regression test for the dead src/src conditional)."""
+    program = build_fp16_gemm(64, 64, 64, GemmConfig(bm=64, bn=64, bk=32))
+    compiled = compile_kernel(program, arch="a100", max_candidates=4)
+    table = compiled.bytes_per_instruction()
+
+    r2s = [op for op in program.copies() if op.direction == "R2S"]
+    assert r2s, "gemm epilogue must stage the accumulator through shared memory"
+    for op in r2s:
+        assert f"{op.dst.name}:R2S" in table
+        assert f"{op.src.name}:R2S" not in table
+        assert table[f"{op.dst.name}:R2S"] == compiled.candidate.assignment[op.op_id].vector_bytes
+    # Loads out of memory stay keyed by their (memory-side) source.
+    for op in program.copies():
+        if op.direction in ("G2S", "S2R"):
+            assert f"{op.src.name}:{op.direction}" in table
+
+
 def test_arch_lookup():
     assert get_arch("a100") is A100
     assert get_arch(90) is H100
