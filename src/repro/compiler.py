@@ -30,7 +30,7 @@ from typing import Dict, Optional
 from repro.instructions.registry import InstructionSet
 from repro.ir.graph import KernelProgram
 from repro.ir.tensor import TileTensor
-from repro.sim.arch import GpuArch
+from repro.sim.arch import DEFAULT_ARCH, GpuArch
 from repro.sim.timing import KernelTiming
 from repro.synthesis.cost_model import CostBreakdown
 from repro.synthesis.search import Candidate
@@ -129,7 +129,7 @@ class CompiledKernel:
 
 def compile_kernel(
     program: KernelProgram,
-    arch=80,
+    arch=DEFAULT_ARCH,
     instructions: Optional[InstructionSet] = None,
     max_candidates: int = 256,
     keep_alternatives: bool = False,
@@ -139,7 +139,10 @@ def compile_kernel(
 ) -> CompiledKernel:
     """Run the full Hexcute pipeline on a tile program.
 
-    ``copy_width_cap`` is an optional hook ``Copy -> Optional[int]`` limiting
+    ``arch`` accepts ``"a100"``/``"h100"`` names, SM numbers (``80``/``90``)
+    or a :class:`GpuArch`, defaulting to
+    :data:`repro.sim.arch.DEFAULT_ARCH` (``"a100"``) like every other
+    compile entry point.  ``copy_width_cap`` is an optional hook ``Copy -> Optional[int]`` limiting
     the vector width considered for specific copies; the baseline/ablation
     harnesses use it to emulate compilers with weaker layout systems.
     Setting it, or ``keep_alternatives``, bypasses the compile cache; pass

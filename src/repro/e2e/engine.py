@@ -8,28 +8,19 @@ a sequence of per-layer operator invocations, each timed by the simulated
 operator (Hexcute kernels) or by the corresponding baseline implementation,
 and the end-to-end latency is the per-step latency times the number of
 generated tokens (decode steps are sequentially dependent).
+
+The per-operator latency functions live in
+:mod:`repro.serving.step_model`; ``decode_latency`` evaluates them through
+the process-wide memoized :class:`~repro.serving.step_model.StepLatencyModel`,
+so repeated calls at the same (config, batch, backend, arch) are near-free
+and the serving simulator and the Fig. 13 harness share one latency source.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Dict
 
-from repro.kernels.attention import AttentionOperator
-from repro.kernels.fp8_gemm import Fp8GemmOperator
-from repro.kernels.gemm import GemmOperator
-from repro.kernels.mamba import SelectiveScanOperator
-from repro.kernels.moe import MixedTypeMoeOperator
-from repro.baselines import (
-    cublas_gemm,
-    cutlass_fp8_gemm,
-    flash_attention_decoding,
-    mamba_library_scan,
-    marlin_old_moe,
-    TritonMoeOperator,
-    triton_scan,
-)
 from repro.sim.arch import get_arch
 
 __all__ = ["ModelConfig", "DecodeResult", "DEEPSEEK_R1_AWQ", "JAMBA_MINI", "QWEN3_32B", "decode_latency"]
@@ -44,6 +35,7 @@ class ModelConfig:
     hidden_size: int
     num_heads: int
     kv_len: int
+    head_dim: int = 128
     moe_layers: int = 0
     moe_experts: int = 256
     moe_top_k: int = 8
@@ -113,52 +105,6 @@ class DecodeResult:
         return self.step_latency_ms * self.output_tokens / 1000.0
 
 
-def _attention_step_us(arch, config: ModelConfig, batch: int, backend: str) -> float:
-    heads = max(1, config.num_heads // config.tensor_parallel)
-    if backend == "hexcute":
-        op = AttentionOperator(arch=arch, mode="decoding")
-        return op.run(batch, heads, config.kv_len, 128).latency_us
-    return flash_attention_decoding(arch, batch, heads, config.kv_len, 128).latency_us
-
-
-def _moe_step_us(arch, config: ModelConfig, batch: int, backend: str) -> float:
-    n = config.moe_intermediate
-    k = max(1, config.hidden_size // config.tensor_parallel)
-    if backend == "hexcute":
-        op = MixedTypeMoeOperator(
-            arch=arch, num_experts=config.moe_experts, top_k=config.moe_top_k, n=n, k=k
-        )
-        return op.run(batch).latency_us
-    if backend == "marlin-old":
-        return marlin_old_moe(arch, batch, config.moe_experts, config.moe_top_k, n, k).latency_us
-    op = TritonMoeOperator(
-        arch=arch, num_experts=config.moe_experts, top_k=config.moe_top_k, n=n, k=k
-    )
-    return op.run(batch).latency_us
-
-
-def _mamba_step_us(arch, config: ModelConfig, batch: int, backend: str) -> float:
-    d_inner = max(64, config.mamba_d_inner // config.tensor_parallel)
-    if backend == "hexcute":
-        return SelectiveScanOperator(arch=arch).run(batch, config.kv_len, d_inner).latency_us
-    if backend == "triton":
-        return triton_scan(arch, batch, config.kv_len, d_inner).latency_us
-    return mamba_library_scan(arch, batch, config.kv_len, d_inner).latency_us
-
-
-def _ffn_step_us(arch, config: ModelConfig, batch: int, backend: str) -> float:
-    m = max(batch, 16)
-    n = max(256, config.ffn_intermediate // config.tensor_parallel)
-    k = config.hidden_size
-    if config.weight_dtype == "fp8":
-        if backend == "hexcute":
-            return Fp8GemmOperator(arch=arch, max_tile_trials=2).run(m, n, k).latency_us
-        return cutlass_fp8_gemm(arch, m, n, k).latency_us
-    if backend == "hexcute":
-        return GemmOperator(arch=arch, max_tile_trials=2).run(m, n, k).latency_us
-    return cublas_gemm(arch, m, n, k).latency_us
-
-
 def decode_latency(
     config: ModelConfig,
     backend: str = "hexcute",
@@ -173,54 +119,27 @@ def decode_latency(
     ``"baseline"`` for the original vLLM implementation (Triton MoE, the
     Mamba library scan, CUTLASS FP8 GEMM, FlashInfer attention).
 
-    The per-operator kernels of a step are independent, so with ``parallel``
-    (the default) they are batch-compiled concurrently — each operator's
-    tile sweep already goes through ``repro.pipeline.compile_many``, and the
-    operators themselves are fanned out on a thread pool here.  Results are
-    deterministic and identical to the serial path.
+    Evaluation goes through :func:`repro.serving.step_model
+    .shared_step_model` at the *exact* batch size (no bucketing): the first
+    call compiles the per-operator kernels — fanned out on a thread pool
+    with ``parallel`` (the default), each operator's tile sweep already
+    going through ``repro.pipeline.compile_many`` — and repeated calls at
+    the same (config, batch, backend, arch) hit the memo.  ``parallel``
+    only affects how a memo miss is computed; results are deterministic and
+    identical to the serial path.
     """
-    gpu = get_arch(arch)
+    # Imported lazily: repro.serving builds on repro.e2e's model configs.
+    from repro.serving.step_model import shared_step_model
 
-    # One thunk per operator class present in the model; all independent.
-    steps: Dict[str, Callable[[], float]] = {
-        "attention": lambda: _attention_step_us(gpu, config, batch_size, backend)
-    }
-    if config.moe_layers:
-        moe_backend = backend if backend != "baseline" else "triton"
-        steps["moe"] = lambda: _moe_step_us(gpu, config, batch_size, moe_backend)
-    if config.mamba_layers:
-        scan_backend = backend if backend != "baseline" else "mamba-lib"
-        steps["mamba_scan"] = lambda: _mamba_step_us(gpu, config, batch_size, scan_backend)
-    if config.dense_ffn_layers:
-        steps["ffn"] = lambda: _ffn_step_us(gpu, config, batch_size, backend)
-
-    if parallel and len(steps) > 1:
-        with ThreadPoolExecutor(max_workers=len(steps)) as pool:
-            futures = {name: pool.submit(fn) for name, fn in steps.items()}
-            per_op_us = {name: future.result() for name, future in futures.items()}
-    else:
-        per_op_us = {name: fn() for name, fn in steps.items()}
-
-    layer_counts = {
-        "attention": config.num_layers,
-        "moe": config.moe_layers,
-        "mamba_scan": config.mamba_layers,
-        "ffn": config.dense_ffn_layers,
-    }
-    breakdown: Dict[str, float] = {}
-    step_us = 0.0
-    for name in ("attention", "moe", "mamba_scan", "ffn"):
-        if name not in per_op_us:
-            continue
-        total_us = per_op_us[name] * layer_counts[name]
-        breakdown[name] = total_us / 1000.0
-        step_us += total_us
-
+    model = shared_step_model(get_arch(arch))
+    step_ms, breakdown = model.step_breakdown_ms(
+        config, backend, batch_size, bucketed=False, parallel=parallel
+    )
     return DecodeResult(
         model=config.name,
         backend=backend,
         batch_size=batch_size,
         output_tokens=output_tokens,
-        step_latency_ms=step_us / 1000.0,
+        step_latency_ms=step_ms,
         breakdown_ms=breakdown,
     )

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.ir.graph import ProgramError
+from repro.sim.arch import DEFAULT_ARCH
 from repro.synthesis.search import SelectionError
 from repro.synthesis.smem_solver import SmemSynthesisError
 from repro.synthesis.tv_solver import TVSynthesisError
@@ -162,7 +163,7 @@ def autotune(
 def autotune_compile(
     build_program: Callable[[Dict], object],
     candidates: Iterable[Dict],
-    arch=80,
+    arch=DEFAULT_ARCH,
     instructions=None,
     max_workers: Optional[int] = None,
     cache=None,

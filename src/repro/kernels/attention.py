@@ -208,12 +208,14 @@ def build_mha_decoding(
 class AttentionOperator:
     """Host-level fused attention (forward or decoding)."""
 
-    def __init__(self, arch="a100", mode: str = "forward", max_candidates: int = 8):
+    def __init__(self, arch="a100", mode: str = "forward", max_candidates: int = 8, cache=None):
         if mode not in ("forward", "decoding"):
             raise ValueError(f"unknown attention mode {mode!r}")
         self.arch = get_arch(arch)
         self.mode = mode
         self.max_candidates = max_candidates
+        # Optional repro.pipeline.CompileCache; None uses the process default.
+        self.cache = cache
 
     def run(
         self,
@@ -230,7 +232,9 @@ class AttentionOperator:
             program = build_mha_decoding(seq_len, head_dim, num_heads, batch)
             flops = 4.0 * batch * num_heads * seq_len * head_dim
             bytes_moved = 2.0 * batch * num_heads * seq_len * head_dim * 2
-        kernel = compile_program(program, arch=self.arch, max_candidates=self.max_candidates)
+        kernel = compile_program(
+            program, arch=self.arch, max_candidates=self.max_candidates, cache=self.cache
+        )
         return OperatorResult(
             name=f"mha_{self.mode}_{batch}x{num_heads}x{seq_len}x{head_dim}",
             arch=self.arch,

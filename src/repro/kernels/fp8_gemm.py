@@ -97,16 +97,24 @@ def build_fp8_blockwise_gemm(m: int, n: int, k: int, config: Optional[Fp8GemmCon
 class Fp8GemmOperator:
     """Host-level blockwise-scaled FP8 GEMM with tile autotuning."""
 
-    def __init__(self, arch="h100", max_candidates: int = 12, max_tile_trials: int = 8):
+    def __init__(
+        self, arch="h100", max_candidates: int = 12, max_tile_trials: int = 8, cache=None
+    ):
         self.arch = get_arch(arch)
         self.max_candidates = max_candidates
         self.max_tile_trials = max_tile_trials
+        # Optional repro.pipeline.CompileCache; None uses the process default.
+        self.cache = cache
 
     def _build(self, m: int, n: int, k: int, params: dict):
         config = Fp8GemmConfig(bm=params["bm"], bn=params["bn"], bk=128)
         return build_fp8_blockwise_gemm(m, n, k, config)
 
-    def run(self, m: int, n: int, k: int) -> OperatorResult:
+    def tile_candidates(self, m: int, n: int, k: int) -> list:
+        """The tile sweep ``run`` evaluates for one problem size.
+
+        Exposed so batch precompilers (e.g. the serving step-latency model)
+        can build the exact programs the autotune path will request."""
         candidates = [
             {"bm": c["bm"], "bn": c["bn"]}
             for c in gemm_tile_candidates(m, n, max(k, 128))
@@ -122,12 +130,16 @@ class Fp8GemmOperator:
         unique = unique[: self.max_tile_trials] or [{"bm": 128, "bn": 128}]
         if {"bm": 128, "bn": 128} not in unique:
             unique.append({"bm": 128, "bn": 128})
+        return unique
+
+    def run(self, m: int, n: int, k: int) -> OperatorResult:
         # Batch-compile the tile sweep through the pipeline (parallel +
         # cached), keeping the fastest configuration.
         tuned = autotune_compile(
             lambda params: self._build(m, n, k, params),
-            unique,
+            self.tile_candidates(m, n, k),
             arch=self.arch,
+            cache=self.cache,
             max_candidates=self.max_candidates,
         )
         best = tuned.best_kernel

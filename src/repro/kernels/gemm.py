@@ -160,12 +160,15 @@ class GemmOperator:
         allow_non_power_of_two: bool = True,
         max_candidates: int = 12,
         max_tile_trials: int = 10,
+        cache=None,
     ):
         self.arch = get_arch(arch)
         self.warp_specialized = warp_specialized
         self.allow_non_power_of_two = allow_non_power_of_two
         self.max_candidates = max_candidates
         self.max_tile_trials = max_tile_trials
+        # Optional repro.pipeline.CompileCache; None uses the process default.
+        self.cache = cache
 
     def _build(self, m: int, n: int, k: int, params: dict):
         config = GemmConfig(
@@ -179,8 +182,11 @@ class GemmOperator:
             return build_warp_specialized_gemm(m, n, k, config)
         return build_fp16_gemm(m, n, k, config)
 
-    def run(self, m: int, n: int, k: int) -> OperatorResult:
-        """Tile-size autotune + compile, returning the best configuration."""
+    def tile_candidates(self, m: int, n: int, k: int) -> list:
+        """The tile sweep ``run`` evaluates for one problem size.
+
+        Exposed so batch precompilers (e.g. the serving step-latency model)
+        can build the exact programs the autotune path will request."""
         candidates = gemm_tile_candidates(m, n, k, self.allow_non_power_of_two)
         candidates = [
             c for c in candidates if c["bm"] <= max(64, m) and c["bn"] <= max(64, n)
@@ -201,13 +207,17 @@ class GemmOperator:
             feasible = fallback["bm"] <= max(64, m) and fallback["bn"] <= max(64, n)
             if feasible and fallback not in candidates:
                 candidates.append(fallback)
+        return candidates
 
+    def run(self, m: int, n: int, k: int) -> OperatorResult:
+        """Tile-size autotune + compile, returning the best configuration."""
         # Batch-compile the whole tile sweep: distinct tilings compile in
         # parallel, repeats are served from the compile cache.
         tuned = autotune_compile(
             lambda params: self._build(m, n, k, params),
-            candidates,
+            self.tile_candidates(m, n, k),
             arch=self.arch,
+            cache=self.cache,
             max_candidates=self.max_candidates,
         )
         best = tuned.best_kernel

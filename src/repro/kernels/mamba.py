@@ -178,12 +178,15 @@ class SelectiveScanOperator:
         num_stages: int = 2,
         instruction_cap_bytes: Optional[int] = None,
         max_candidates: int = 8,
+        cache=None,
     ):
         self.arch = get_arch(arch)
         self.use_shared_stage = use_shared_stage
         self.num_stages = num_stages
         self.instruction_cap_bytes = instruction_cap_bytes
         self.max_candidates = max_candidates
+        # Optional repro.pipeline.CompileCache; None uses the process default.
+        self.cache = cache
 
     def compile_kernel(self, seq_len: int, d_inner: int, batch: int) -> CompiledKernel:
         config = ScanConfig(use_shared_stage=self.use_shared_stage, num_stages=self.num_stages)
@@ -196,6 +199,7 @@ class SelectiveScanOperator:
             arch=self.arch,
             instructions=instructions,
             max_candidates=self.max_candidates,
+            cache=self.cache,
         )
 
     def run(self, batch: int, seq_len: int, d_inner: int, d_state: int = 16) -> OperatorResult:

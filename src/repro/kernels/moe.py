@@ -198,6 +198,7 @@ class MixedTypeMoeOperator:
         dataflow: str = "hexcute",
         max_weight_vector_bytes: Optional[int] = None,
         max_candidates: int = 8,
+        cache=None,
     ):
         self.arch = get_arch(arch)
         self.num_experts = num_experts
@@ -207,6 +208,8 @@ class MixedTypeMoeOperator:
         self.dataflow = dataflow
         self.max_weight_vector_bytes = max_weight_vector_bytes
         self.max_candidates = max_candidates
+        # Optional repro.pipeline.CompileCache; None uses the process default.
+        self.cache = cache
 
     def _instruction_set(self) -> InstructionSet:
         base = instruction_set(self.arch.sm_arch)
@@ -223,6 +226,7 @@ class MixedTypeMoeOperator:
             arch=self.arch,
             instructions=self._instruction_set(),
             max_candidates=self.max_candidates,
+            cache=self.cache,
         )
 
     def run(self, num_tokens: int) -> OperatorResult:

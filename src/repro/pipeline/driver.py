@@ -25,7 +25,7 @@ from repro.ir.graph import KernelProgram
 from repro.pipeline.cache import CacheEntry, CompileCache, compile_key, default_cache
 from repro.pipeline.context import CompilationContext, CompileOptions, CompileRequest
 from repro.pipeline.passes import PassManager
-from repro.sim.arch import get_arch
+from repro.sim.arch import DEFAULT_ARCH, get_arch
 
 __all__ = ["compile_program", "compile_many"]
 
@@ -64,7 +64,7 @@ def _finish(ctx: CompilationContext):
 
 def compile_program(
     program: KernelProgram,
-    arch=80,
+    arch=DEFAULT_ARCH,
     instructions: Optional[InstructionSet] = None,
     options: Optional[CompileOptions] = None,
     cache: Optional[CompileCache] = None,
@@ -73,9 +73,13 @@ def compile_program(
 ):
     """Run the pass pipeline on one tile program, consulting the cache.
 
-    Keyword compile options (``max_candidates``, ``keep_alternatives``,
-    ``copy_width_cap``, ``use_cache``) may be given directly or bundled in
-    an explicit :class:`CompileOptions`.
+    ``arch`` accepts anything :func:`repro.sim.arch.get_arch` does —
+    ``"a100"``/``"h100"`` names, SM numbers (``80``/``90``), or a
+    :class:`GpuArch` — and defaults to :data:`repro.sim.arch.DEFAULT_ARCH`
+    (``"a100"``), the same default as ``compile_kernel`` and
+    ``compile_many``.  Keyword compile options (``max_candidates``,
+    ``keep_alternatives``, ``copy_width_cap``, ``use_cache``) may be given
+    directly or bundled in an explicit :class:`CompileOptions`.
     """
     gpu = get_arch(arch)
     iset = instructions or instruction_set(gpu.sm_arch)
@@ -91,9 +95,11 @@ def compile_program(
 
     if entry is not None:
         # Same program object, already carrying its synthesized layouts and
-        # instructions: the pinned kernel *is* the answer.
+        # instructions: the pinned kernel *is* the answer.  pass_stats is
+        # emptied per the CompiledKernel contract: no passes ran for this
+        # result, so compile_seconds() must not re-report the cold search.
         if entry.kernel is not None and entry.kernel.program is program:
-            return replace(entry.kernel, cache_hit=True)
+            return replace(entry.kernel, cache_hit=True, pass_stats={})
         # Equivalent program: replay the cached winning assignment through
         # the pipeline.  All passes run (so the new program gets identical
         # layouts installed), but instruction selection evaluates exactly
@@ -142,7 +148,7 @@ def _normalize_request(
 
 def compile_many(
     programs: Sequence[Union[CompileRequest, KernelProgram]],
-    arch=80,
+    arch=DEFAULT_ARCH,
     instructions: Optional[InstructionSet] = None,
     options: Optional[CompileOptions] = None,
     cache: Optional[CompileCache] = None,

@@ -1,0 +1,73 @@
+"""Continuous-batching serving simulation on top of the compile pipeline.
+
+The subsystem turns the repo's kernel + cost-model stack into a
+traffic-level system (the vLLM-integration story of Fig. 13, at serving
+scale): seeded workload generators feed a deterministic discrete-event
+engine whose decode-step latencies come from a memoized, batch-bucketed
+:class:`StepLatencyModel` that precompiles its buckets through
+``repro.pipeline.compile_many``.
+
+* :mod:`repro.serving.workload` — ``Request``/``RequestQueue`` and the
+  steady / bursty / heavy-tail generators;
+* :mod:`repro.serving.scheduler` — FCFS, SLO-aware (EDF) and max-batch
+  continuous-batching policies;
+* :mod:`repro.serving.step_model` — the (config, backend, batch) -> step
+  latency provider shared with ``e2e.decode_latency``;
+* :mod:`repro.serving.simulator` — the discrete-event engine;
+* :mod:`repro.serving.report` — percentiles, SLO attainment and the
+  bit-exact ``ServeReport`` digest the CI determinism check relies on.
+"""
+
+from repro.serving.report import RequestMetrics, ServeReport, format_reports, percentile
+from repro.serving.scheduler import (
+    FcfsScheduler,
+    MaxBatchScheduler,
+    SCHEDULERS,
+    Scheduler,
+    SloScheduler,
+    get_scheduler,
+)
+from repro.serving.simulator import ServingSimulator, simulate
+from repro.serving.step_model import (
+    DEFAULT_BATCH_BUCKETS,
+    PrecompileStats,
+    StepLatencyModel,
+    operator_plan,
+    shared_step_model,
+)
+from repro.serving.workload import (
+    Request,
+    RequestQueue,
+    WORKLOADS,
+    bursty_workload,
+    heavy_tail_workload,
+    make_workload,
+    steady_workload,
+)
+
+__all__ = [
+    "DEFAULT_BATCH_BUCKETS",
+    "FcfsScheduler",
+    "MaxBatchScheduler",
+    "PrecompileStats",
+    "Request",
+    "RequestMetrics",
+    "RequestQueue",
+    "SCHEDULERS",
+    "Scheduler",
+    "ServeReport",
+    "ServingSimulator",
+    "SloScheduler",
+    "StepLatencyModel",
+    "WORKLOADS",
+    "bursty_workload",
+    "format_reports",
+    "get_scheduler",
+    "heavy_tail_workload",
+    "make_workload",
+    "operator_plan",
+    "percentile",
+    "shared_step_model",
+    "simulate",
+    "steady_workload",
+]

@@ -1,0 +1,186 @@
+"""Serving metrics: per-request records, percentiles and the ServeReport.
+
+A :class:`ServeReport` summarizes one simulated serve: throughput,
+latency/TTFT percentiles, queue depth, batch occupancy and SLO attainment,
+with the raw per-request records attached.  ``digest()`` hashes the
+per-request records bit-exactly (float values via ``float.hex``), which is
+how the CI smoke job asserts that two identically seeded runs are
+bit-identical.  ``format_reports`` renders a sweep as the repo's standard
+diff-friendly table (:mod:`repro.reporting.tables`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.reporting.tables import TableRow, format_table
+
+__all__ = [
+    "RequestMetrics",
+    "ServeReport",
+    "format_reports",
+    "percentile",
+]
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile (``pct`` in [0, 100]); 0.0 if empty."""
+    if not values:
+        return 0.0
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = pct / 100.0 * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+@dataclass(frozen=True)
+class RequestMetrics:
+    """The lifecycle of one completed request."""
+
+    request_id: int
+    arrival_ms: float
+    scheduled_ms: float
+    first_token_ms: float
+    finish_ms: float
+    prompt_tokens: int
+    output_tokens: int
+    slo_ms: float
+
+    @property
+    def latency_ms(self) -> float:
+        """End-to-end latency: arrival to final token."""
+        return self.finish_ms - self.arrival_ms
+
+    @property
+    def ttft_ms(self) -> float:
+        """Time to first token."""
+        return self.first_token_ms - self.arrival_ms
+
+    @property
+    def queue_ms(self) -> float:
+        """Time spent waiting before first being scheduled."""
+        return self.scheduled_ms - self.arrival_ms
+
+    @property
+    def slo_met(self) -> bool:
+        return self.latency_ms <= self.slo_ms
+
+    def record(self) -> list:
+        """A bit-exact serializable form (floats as hex) for digesting."""
+        return [
+            self.request_id,
+            float(self.arrival_ms).hex(),
+            float(self.scheduled_ms).hex(),
+            float(self.first_token_ms).hex(),
+            float(self.finish_ms).hex(),
+            self.prompt_tokens,
+            self.output_tokens,
+            float(self.slo_ms).hex(),
+        ]
+
+
+@dataclass
+class ServeReport:
+    """Aggregate outcome of one simulated serve."""
+
+    model: str
+    backend: str
+    scheduler: str
+    workload: str
+    arch: str
+    num_requests: int
+    total_output_tokens: int
+    duration_ms: float
+    steps: int
+    mean_batch_size: float
+    mean_queue_depth: float
+    max_queue_depth: int
+    requests: List[RequestMetrics] = field(default_factory=list, repr=False)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def throughput_tok_s(self) -> float:
+        """Generated tokens per second of simulated wall time."""
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.total_output_tokens / (self.duration_ms / 1000.0)
+
+    def latency_percentile_ms(self, pct: float) -> float:
+        return percentile([r.latency_ms for r in self.requests], pct)
+
+    def ttft_percentile_ms(self, pct: float) -> float:
+        return percentile([r.ttft_ms for r in self.requests], pct)
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of requests that met their end-to-end SLO."""
+        if not self.requests:
+            return 1.0
+        return sum(1 for r in self.requests if r.slo_met) / len(self.requests)
+
+    # ------------------------------------------------------------------ #
+    def digest(self) -> str:
+        """A bit-exact content hash of the serve outcome.
+
+        Two runs of the same seeded workload through the same deterministic
+        scheduler and step-latency model must produce equal digests — the
+        CI smoke check enforces this.
+        """
+        payload = {
+            "model": self.model,
+            "backend": self.backend,
+            "scheduler": self.scheduler,
+            "workload": self.workload,
+            "arch": self.arch,
+            "steps": self.steps,
+            "duration_ms": float(self.duration_ms).hex(),
+            "requests": [r.record() for r in self.requests],
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        return f"{self.model} / {self.backend} / {self.scheduler}"
+
+    def to_row(self) -> TableRow:
+        return TableRow(
+            self.label(),
+            {
+                "tok/s": self.throughput_tok_s,
+                "p50 (ms)": self.latency_percentile_ms(50),
+                "p95 (ms)": self.latency_percentile_ms(95),
+                "p99 (ms)": self.latency_percentile_ms(99),
+                "ttft p95": self.ttft_percentile_ms(95),
+                "slo %": self.slo_attainment * 100.0,
+                "batch": self.mean_batch_size,
+            },
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.label()}: {self.num_requests} requests, "
+            f"{self.total_output_tokens} tokens in {self.duration_ms / 1000.0:.2f} s "
+            f"({self.throughput_tok_s:.1f} tok/s), "
+            f"p50/p95/p99 latency {self.latency_percentile_ms(50):.0f}/"
+            f"{self.latency_percentile_ms(95):.0f}/{self.latency_percentile_ms(99):.0f} ms, "
+            f"SLO attainment {self.slo_attainment * 100.0:.1f}%, "
+            f"mean batch {self.mean_batch_size:.1f}, "
+            f"max queue depth {self.max_queue_depth}"
+        )
+
+
+REPORT_COLUMNS = ["tok/s", "p50 (ms)", "p95 (ms)", "p99 (ms)", "ttft p95", "slo %", "batch"]
+
+
+def format_reports(title: str, reports: Sequence[ServeReport]) -> str:
+    """Render a sweep of serve reports as the standard benchmark table."""
+    return format_table(title, REPORT_COLUMNS, [report.to_row() for report in reports])

@@ -1,0 +1,218 @@
+"""The deterministic continuous-batching serving simulator.
+
+:class:`ServingSimulator` plays a workload of :class:`Request`\\ s through a
+discrete-event loop modelled on vLLM's engine step:
+
+1. admit every request whose arrival time has passed into the waiting set
+   (when the engine is fully idle, simulated time jumps to the next
+   arrival);
+2. ask the scheduler which waiting requests join the running batch
+   (continuous batching — running requests are never preempted, free slots
+   refill mid-flight as generations finish);
+3. run one decode step for the whole batch: every running request emits one
+   token, and the step's duration comes from the
+   :class:`~repro.serving.step_model.StepLatencyModel` at the *bucketed*
+   batch size.  Requests joining this step first pay a prefill surcharge
+   proportional to their prompt length (prefill processes tokens
+   ``prefill_parallelism`` times more efficiently than decode, reflecting
+   its compute-dense batching);
+4. completed requests leave the batch, recording their finish time.
+
+Everything is deterministic: the only randomness lives in the seeded
+workload generators, schedulers break ties on request ids, and the step
+latencies are memoized analytical results — so two runs of the same seeded
+workload produce bit-identical :class:`ServeReport` digests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from repro.serving.report import RequestMetrics, ServeReport
+from repro.serving.scheduler import Scheduler, get_scheduler
+from repro.serving.step_model import PrecompileStats, StepLatencyModel, shared_step_model
+from repro.serving.workload import Request, RequestQueue
+from repro.sim.arch import get_arch
+
+__all__ = ["ServingSimulator", "simulate"]
+
+
+@dataclass
+class _ActiveRequest:
+    """Mutable runtime state of one request inside the engine."""
+
+    request: Request
+    scheduled_ms: float = -1.0
+    first_token_ms: float = -1.0
+    tokens_done: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.tokens_done >= self.request.output_tokens
+
+
+class ServingSimulator:
+    """One simulated model replica running continuous batching.
+
+    ``step_model`` defaults to the process-wide shared model for ``arch``
+    (so repeated simulations share kernel compilations and memoized step
+    latencies); pass an explicit :class:`StepLatencyModel` to isolate
+    caches, e.g. for cold-start experiments.
+    """
+
+    def __init__(
+        self,
+        model_config,
+        backend: str = "hexcute",
+        scheduler: Union[str, Scheduler] = "fcfs",
+        arch="h100",
+        max_batch_size: int = 32,
+        prefill_parallelism: float = 8.0,
+        step_model: Optional[StepLatencyModel] = None,
+    ):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if prefill_parallelism <= 0:
+            raise ValueError(f"prefill_parallelism must be > 0, got {prefill_parallelism}")
+        self.model_config = model_config
+        self.backend = backend
+        self.scheduler = get_scheduler(scheduler)
+        self.arch = get_arch(arch)
+        self.max_batch_size = max_batch_size
+        self.prefill_parallelism = prefill_parallelism
+        self.step_model = step_model if step_model is not None else shared_step_model(self.arch)
+
+    # ------------------------------------------------------------------ #
+    def precompile(self) -> PrecompileStats:
+        """Compile this replica's batch buckets up front (serving startup)."""
+        buckets = [b for b in self.step_model.buckets if b <= self.max_batch_size]
+        if not buckets or buckets[-1] < self.max_batch_size:
+            buckets.append(self.step_model.bucket_for(self.max_batch_size))
+        return self.step_model.precompile(self.model_config, self.backend, buckets=buckets)
+
+    def simulate(self, requests: Sequence[Request], workload: str = "custom") -> ServeReport:
+        """Play ``requests`` through the engine and report the outcome."""
+        queue = RequestQueue(requests)
+        waiting: List[_ActiveRequest] = []
+        running: List[_ActiveRequest] = []
+        finished: List[RequestMetrics] = []
+
+        now = 0.0
+        steps = 0
+        batch_size_sum = 0
+        queue_depth_sum = 0
+        max_queue_depth = 0
+
+        while len(queue) or waiting or running:
+            waiting.extend(_ActiveRequest(r) for r in queue.pop_arrived(now))
+            waiting.sort(key=lambda s: (s.request.arrival_ms, s.request.request_id))
+
+            if not waiting and not running:
+                # Fully idle: jump to the next arrival.
+                now = queue.next_arrival_ms
+                continue
+
+            admitted = self.scheduler.select(
+                [s.request for s in waiting],
+                running=len(running),
+                free_slots=self.max_batch_size - len(running),
+                now_ms=now,
+                more_arrivals=len(queue) > 0,
+            )
+            admitted_ids = {r.request_id for r in admitted}
+            if len(admitted_ids) > self.max_batch_size - len(running):
+                raise RuntimeError(
+                    f"scheduler {self.scheduler.name!r} admitted {len(admitted_ids)} "
+                    f"requests into {self.max_batch_size - len(running)} free slots"
+                )
+            joining = [s for s in waiting if s.request.request_id in admitted_ids]
+            waiting = [s for s in waiting if s.request.request_id not in admitted_ids]
+            for state in joining:
+                state.scheduled_ms = now
+            running.extend(joining)
+
+            if not running:
+                # The scheduler deferred (e.g. max-batch waiting to fill) and
+                # nothing is in flight: advance to whichever comes first, the
+                # next arrival or the scheduler's own re-poll time (so a
+                # time-based deferral like max_wait_ms cannot be slept past).
+                hints = [
+                    queue.next_arrival_ms,
+                    self.scheduler.next_event_ms([s.request for s in waiting], now),
+                ]
+                wake = min((t for t in hints if t is not None and t > now), default=None)
+                if wake is not None:
+                    now = wake
+                    continue
+                raise RuntimeError(
+                    f"scheduler {self.scheduler.name!r} admitted nothing with "
+                    f"{len(waiting)} waiting requests and no future arrivals"
+                )
+
+            # One decode step for the whole batch, plus the prefill surcharge
+            # of the requests that joined this step.
+            batch = len(running)
+            step_ms = self.step_model.step_latency_ms(self.model_config, self.backend, batch)
+            prefill_tokens = sum(s.request.prompt_tokens for s in joining)
+            prefill_ms = (
+                prefill_tokens * (step_ms / batch) / self.prefill_parallelism
+            )
+            now += step_ms + prefill_ms
+            steps += 1
+            batch_size_sum += batch
+            queue_depth_sum += len(waiting)
+            max_queue_depth = max(max_queue_depth, len(waiting))
+
+            still_running: List[_ActiveRequest] = []
+            for state in running:
+                state.tokens_done += 1
+                if state.first_token_ms < 0:
+                    state.first_token_ms = now
+                if state.done:
+                    finished.append(
+                        RequestMetrics(
+                            request_id=state.request.request_id,
+                            arrival_ms=state.request.arrival_ms,
+                            scheduled_ms=state.scheduled_ms,
+                            first_token_ms=state.first_token_ms,
+                            finish_ms=now,
+                            prompt_tokens=state.request.prompt_tokens,
+                            output_tokens=state.request.output_tokens,
+                            slo_ms=state.request.slo_ms,
+                        )
+                    )
+                else:
+                    still_running.append(state)
+            running = still_running
+
+        finished.sort(key=lambda m: m.request_id)
+        first_arrival = min((m.arrival_ms for m in finished), default=0.0)
+        return ServeReport(
+            model=self.model_config.name,
+            backend=self.backend,
+            scheduler=self.scheduler.name,
+            workload=workload,
+            arch=self.arch.name,
+            num_requests=len(finished),
+            total_output_tokens=sum(m.output_tokens for m in finished),
+            duration_ms=now - first_arrival,
+            steps=steps,
+            mean_batch_size=batch_size_sum / steps if steps else 0.0,
+            mean_queue_depth=queue_depth_sum / steps if steps else 0.0,
+            max_queue_depth=max_queue_depth,
+            requests=finished,
+        )
+
+
+def simulate(
+    model_config,
+    requests: Sequence[Request],
+    backend: str = "hexcute",
+    scheduler: Union[str, Scheduler] = "fcfs",
+    workload: str = "custom",
+    **kwargs,
+) -> ServeReport:
+    """One-shot convenience wrapper around :class:`ServingSimulator`."""
+    sim = ServingSimulator(model_config, backend=backend, scheduler=scheduler, **kwargs)
+    return sim.simulate(requests, workload=workload)

@@ -1,0 +1,455 @@
+"""The serving step-latency model: (model config, backend, batch) -> latency.
+
+A continuous-batching simulator recomposes its decode batch every step, so
+it asks for step latencies at many different batch sizes, thousands of
+times.  Recompiling the underlying kernels per query (what
+``e2e.engine.decode_latency`` used to do inline) would dwarf the simulated
+traffic, so this module turns the per-operator latency functions into a
+reusable provider with two levels of reuse:
+
+* **memoization** — per-operator latencies are cached on
+  ``(config, backend, batch)``, so repeated queries are dictionary lookups;
+* **batch-size bucketing** — serving queries round the batch up to a fixed
+  bucket (powers of two by default), the same trick real engines use to
+  bound the number of captured CUDA graphs / compiled kernel shapes.  The
+  whole bucket set can be **precompiled up front** through
+  :func:`repro.pipeline.compile_many`: one batched fan-out builds exactly
+  the tile programs the operators will request, so kernel compilation cost
+  is paid once per bucket at serving startup (and a warm compile cache
+  makes that startup measurably faster — the cold-vs-warm experiment in
+  ``benchmarks/bench_serving.py``).
+
+The per-operator functions themselves (attention / MoE / Mamba scan / FFN)
+are the ones ``e2e.engine`` composes into Fig. 13; ``decode_latency`` now
+delegates here, so end-to-end and serving numbers come from one source.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.baselines import (
+    TritonMoeOperator,
+    cublas_gemm,
+    cutlass_fp8_gemm,
+    flash_attention_decoding,
+    mamba_library_scan,
+    marlin_old_moe,
+    triton_scan,
+)
+from repro.kernels.attention import AttentionOperator, build_mha_decoding
+from repro.kernels.common import ceil_div
+from repro.kernels.fp8_gemm import Fp8GemmOperator
+from repro.kernels.gemm import GemmOperator
+from repro.kernels.mamba import ScanConfig, SelectiveScanOperator, build_selective_scan
+from repro.kernels.moe import MixedTypeMoeOperator, build_moe_gemm
+from repro.instructions.registry import instruction_set
+from repro.pipeline.cache import CompileCache, compile_key, default_cache
+from repro.pipeline.context import CompileOptions, CompileRequest
+from repro.pipeline.driver import compile_many
+from repro.sim.arch import get_arch
+
+__all__ = [
+    "DEFAULT_BATCH_BUCKETS",
+    "PrecompileStats",
+    "StepLatencyModel",
+    "attention_step_us",
+    "ffn_step_us",
+    "mamba_step_us",
+    "moe_step_us",
+    "operator_plan",
+    "shared_step_model",
+]
+
+# Decode batch sizes the serving layer compiles kernels for; queries round
+# up to the next bucket (and clamp to the largest).
+DEFAULT_BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+# --------------------------------------------------------------------------- #
+# Per-operator step latencies (moved out of e2e.engine)
+# --------------------------------------------------------------------------- #
+def attention_step_us(arch, config, batch: int, backend: str, cache=None) -> float:
+    """One decoding-attention layer invocation, in microseconds."""
+    heads = max(1, config.num_heads // config.tensor_parallel)
+    if backend == "hexcute":
+        op = AttentionOperator(arch=arch, mode="decoding", cache=cache)
+        return op.run(batch, heads, config.kv_len, config.head_dim).latency_us
+    return flash_attention_decoding(
+        arch, batch, heads, config.kv_len, config.head_dim
+    ).latency_us
+
+
+def moe_step_us(arch, config, batch: int, backend: str, cache=None) -> float:
+    """One mixed-type MoE layer invocation, in microseconds."""
+    n = config.moe_intermediate
+    k = max(1, config.hidden_size // config.tensor_parallel)
+    if backend == "hexcute":
+        op = MixedTypeMoeOperator(
+            arch=arch, num_experts=config.moe_experts, top_k=config.moe_top_k, n=n, k=k,
+            cache=cache,
+        )
+        return op.run(batch).latency_us
+    if backend == "marlin-old":
+        return marlin_old_moe(arch, batch, config.moe_experts, config.moe_top_k, n, k).latency_us
+    op = TritonMoeOperator(
+        arch=arch, num_experts=config.moe_experts, top_k=config.moe_top_k, n=n, k=k
+    )
+    return op.run(batch).latency_us
+
+
+def mamba_step_us(arch, config, batch: int, backend: str, cache=None) -> float:
+    """One Mamba selective-scan layer invocation, in microseconds."""
+    d_inner = max(64, config.mamba_d_inner // config.tensor_parallel)
+    if backend == "hexcute":
+        op = SelectiveScanOperator(arch=arch, cache=cache)
+        return op.run(batch, config.kv_len, d_inner).latency_us
+    if backend == "triton":
+        return triton_scan(arch, batch, config.kv_len, d_inner).latency_us
+    return mamba_library_scan(arch, batch, config.kv_len, d_inner).latency_us
+
+
+def ffn_step_us(arch, config, batch: int, backend: str, cache=None) -> float:
+    """One dense FFN GEMM invocation, in microseconds."""
+    m = max(batch, 16)
+    n = max(256, config.ffn_intermediate // config.tensor_parallel)
+    k = config.hidden_size
+    if config.weight_dtype == "fp8":
+        if backend == "hexcute":
+            op = Fp8GemmOperator(arch=arch, max_tile_trials=2, cache=cache)
+            return op.run(m, n, k).latency_us
+        return cutlass_fp8_gemm(arch, m, n, k).latency_us
+    if backend == "hexcute":
+        op = GemmOperator(arch=arch, max_tile_trials=2, cache=cache)
+        return op.run(m, n, k).latency_us
+    return cublas_gemm(arch, m, n, k).latency_us
+
+
+_OP_FUNCS: Dict[str, Callable] = {
+    "attention": attention_step_us,
+    "moe": moe_step_us,
+    "mamba_scan": mamba_step_us,
+    "ffn": ffn_step_us,
+}
+
+
+def operator_plan(config, backend: str) -> List[Tuple[str, int, str]]:
+    """The operator classes one decode step of ``config`` runs.
+
+    Returns ``(op_name, layer_count, effective_backend)`` triples in the
+    canonical breakdown order.  The generic ``"baseline"`` backend resolves
+    to the concrete per-operator baseline the paper compares against
+    (Triton MoE, the Mamba library scan); other backends pass through.
+    """
+    plan: List[Tuple[str, int, str]] = [("attention", config.num_layers, backend)]
+    if config.moe_layers:
+        plan.append(("moe", config.moe_layers, "triton" if backend == "baseline" else backend))
+    if config.mamba_layers:
+        plan.append(
+            ("mamba_scan", config.mamba_layers, "mamba-lib" if backend == "baseline" else backend)
+        )
+    if config.dense_ffn_layers:
+        plan.append(("ffn", config.dense_ffn_layers, backend))
+    return plan
+
+
+# --------------------------------------------------------------------------- #
+# The memoized provider
+# --------------------------------------------------------------------------- #
+@dataclass
+class PrecompileStats:
+    """What one :meth:`StepLatencyModel.precompile` fan-out did.
+
+    ``requests`` counts every (config, operator, bucket) tile program
+    considered; ``already_cached`` those whose fingerprint was found in the
+    compile cache (the warm-startup path: no passes run at all);
+    ``compiled`` the distinct programs actually sent through
+    ``compile_many``.
+    """
+
+    requests: int
+    compiled: int
+    already_cached: int
+    errors: int
+    seconds: float
+    # CacheStats delta over the fan-out (puts on a cold start).
+    cache_delta: Dict[str, int] = field(default_factory=dict)
+
+
+class StepLatencyModel:
+    """Memoized (model config, backend, batch size) -> step latency.
+
+    ``config`` objects are :class:`repro.e2e.ModelConfig`-shaped (any frozen
+    dataclass with the same fields works).  Serving queries are *bucketed*:
+    the batch size rounds up to the next entry of ``buckets`` so the model
+    only ever compiles kernels for a fixed set of batch shapes.
+    ``bucketed=False`` (used by ``decode_latency``) evaluates at the exact
+    batch size instead, still memoized.
+    """
+
+    def __init__(
+        self,
+        arch="h100",
+        buckets: Sequence[int] = DEFAULT_BATCH_BUCKETS,
+        cache: Optional[CompileCache] = None,
+    ):
+        self.arch = get_arch(arch)
+        self.buckets = tuple(sorted({int(b) for b in buckets}))
+        if not self.buckets or self.buckets[0] < 1:
+            raise ValueError(f"buckets must be positive integers, got {buckets!r}")
+        self.cache = cache
+        self._memo: Dict[Tuple, Dict[str, float]] = {}
+        self._lock = threading.Lock()
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    # ------------------------------------------------------------------ #
+    def bucket_for(self, batch: int) -> int:
+        """The smallest bucket >= ``batch`` (clamped to the largest)."""
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        for bucket in self.buckets:
+            if batch <= bucket:
+                return bucket
+        return self.buckets[-1]
+
+    def operator_latencies_us(
+        self,
+        config,
+        backend: str = "hexcute",
+        batch: int = 1,
+        *,
+        bucketed: bool = True,
+        parallel: bool = True,
+    ) -> Dict[str, float]:
+        """Per-operator latencies (us) of one decode step, memoized.
+
+        With ``parallel`` (the default) a memo miss fans the independent
+        per-operator evaluations out on a thread pool; results are
+        deterministic and identical to the serial path.
+        """
+        effective = self.bucket_for(batch) if bucketed else int(batch)
+        key = (config, backend, effective)
+        with self._lock:
+            cached = self._memo.get(key)
+            if cached is not None:
+                self.memo_hits += 1
+                return dict(cached)
+            self.memo_misses += 1
+
+        plan = operator_plan(config, backend)
+        if parallel and len(plan) > 1:
+            with ThreadPoolExecutor(max_workers=len(plan)) as pool:
+                futures = {
+                    name: pool.submit(
+                        _OP_FUNCS[name], self.arch, config, effective, op_backend, self.cache
+                    )
+                    for name, _, op_backend in plan
+                }
+                per_op = {name: future.result() for name, future in futures.items()}
+        else:
+            per_op = {
+                name: _OP_FUNCS[name](self.arch, config, effective, op_backend, self.cache)
+                for name, _, op_backend in plan
+            }
+
+        with self._lock:
+            # Concurrent misses compute identical values; first writer wins.
+            per_op = self._memo.setdefault(key, per_op)
+        return dict(per_op)
+
+    def step_breakdown_ms(
+        self,
+        config,
+        backend: str = "hexcute",
+        batch: int = 1,
+        *,
+        bucketed: bool = True,
+        parallel: bool = True,
+    ) -> Tuple[float, Dict[str, float]]:
+        """Whole-step latency (ms) plus the per-operator-class breakdown."""
+        per_op_us = self.operator_latencies_us(
+            config, backend, batch, bucketed=bucketed, parallel=parallel
+        )
+        breakdown: Dict[str, float] = {}
+        step_us = 0.0
+        for name, layers, _ in operator_plan(config, backend):
+            total_us = per_op_us[name] * layers
+            breakdown[name] = total_us / 1000.0
+            step_us += total_us
+        return step_us / 1000.0, breakdown
+
+    def step_latency_ms(
+        self, config, backend: str = "hexcute", batch: int = 1, *, bucketed: bool = True
+    ) -> float:
+        """Latency of one decode step at ``batch`` concurrent requests."""
+        step_ms, _ = self.step_breakdown_ms(config, backend, batch, bucketed=bucketed)
+        return step_ms
+
+    # ------------------------------------------------------------------ #
+    # Bucket precompilation
+    # ------------------------------------------------------------------ #
+    def precompile_requests(
+        self, config, backend: str = "hexcute", buckets: Optional[Iterable[int]] = None
+    ) -> List[CompileRequest]:
+        """The compile requests evaluation at each bucket will issue.
+
+        Each request reproduces the exact ``(program, instruction set,
+        options)`` the corresponding operator submits, so its fingerprint
+        matches and the later evaluation compiles become cache replays.
+        Only compiled backends contribute; the library baselines are
+        analytical and the Triton MoE baseline compiles uncacheably (its
+        ``copy_width_cap`` hook cannot be fingerprinted).
+        """
+        requests: List[CompileRequest] = []
+        if backend != "hexcute":
+            return requests
+        buckets = self.buckets if buckets is None else tuple(sorted({int(b) for b in buckets}))
+        for name, _, op_backend in operator_plan(config, backend):
+            for bucket in buckets:
+                requests.extend(self._op_requests(name, config, bucket, op_backend))
+        return requests
+
+    def _op_requests(
+        self, name: str, config, batch: int, backend: str
+    ) -> List[CompileRequest]:
+        if name == "attention":
+            op = AttentionOperator(arch=self.arch, mode="decoding")
+            heads = max(1, config.num_heads // config.tensor_parallel)
+            program = build_mha_decoding(config.kv_len, config.head_dim, heads, batch)
+            options = CompileOptions(max_candidates=op.max_candidates)
+            return [CompileRequest(program=program, arch=self.arch, options=options)]
+        if name == "moe":
+            n = config.moe_intermediate
+            k = max(1, config.hidden_size // config.tensor_parallel)
+            op = MixedTypeMoeOperator(
+                arch=self.arch, num_experts=config.moe_experts, top_k=config.moe_top_k, n=n, k=k
+            )
+            routed = batch * op.top_k
+            tokens_per_expert = max(1, ceil_div(routed, op.num_experts))
+            program = build_moe_gemm(tokens_per_expert, op.n, op.k, dataflow=op.dataflow)
+            options = CompileOptions(max_candidates=op.max_candidates)
+            return [
+                CompileRequest(
+                    program=program,
+                    arch=self.arch,
+                    instructions=op._instruction_set(),
+                    options=options,
+                )
+            ]
+        if name == "mamba_scan":
+            op = SelectiveScanOperator(arch=self.arch)
+            d_inner = max(64, config.mamba_d_inner // config.tensor_parallel)
+            scan_config = ScanConfig(
+                use_shared_stage=op.use_shared_stage, num_stages=op.num_stages
+            )
+            program = build_selective_scan(config.kv_len, d_inner, batch, scan_config)
+            options = CompileOptions(max_candidates=op.max_candidates)
+            return [CompileRequest(program=program, arch=self.arch, options=options)]
+        if name == "ffn":
+            m = max(batch, 16)
+            n = max(256, config.ffn_intermediate // config.tensor_parallel)
+            k = config.hidden_size
+            if config.weight_dtype == "fp8":
+                op = Fp8GemmOperator(arch=self.arch, max_tile_trials=2)
+            else:
+                op = GemmOperator(arch=self.arch, max_tile_trials=2)
+            options = CompileOptions(max_candidates=op.max_candidates)
+            requests = []
+            for params in op.tile_candidates(m, n, k):
+                try:
+                    program = op._build(m, n, k, params)
+                except (ValueError, RuntimeError):
+                    continue  # infeasible tile; the autotune sweep records it
+                requests.append(
+                    CompileRequest(program=program, arch=self.arch, options=options)
+                )
+            return requests
+        raise KeyError(f"unknown operator class {name!r}")
+
+    def precompile(
+        self,
+        configs,
+        backend: str = "hexcute",
+        buckets: Optional[Iterable[int]] = None,
+        max_workers: Optional[int] = None,
+    ) -> PrecompileStats:
+        """Compile every bucket's kernels up front, in one batched fan-out.
+
+        ``configs`` is one model config or a sequence of them.  The tile
+        programs of all (config, operator, bucket) combinations are
+        fingerprinted against the compile cache first — a shape the cache
+        already holds is *skipped outright* (a warm serving startup runs no
+        compiler passes at all, it just verifies fingerprints), which is
+        what makes warm startup dramatically cheaper than cold.  The
+        remaining distinct programs go through a single
+        :func:`repro.pipeline.compile_many` fan-out (parallel across
+        fingerprints).  Build failures are tolerated (the corresponding
+        tile was infeasible); the returned stats carry the cache-stats
+        delta so cold and warm startups can be told apart.
+        """
+        if hasattr(configs, "num_layers"):  # a single ModelConfig-shaped object
+            configs = [configs]
+        cache = self.cache if self.cache is not None else default_cache()
+        before = cache.stats.as_dict()
+        start = time.perf_counter()
+
+        requests: List[CompileRequest] = []
+        for config in configs:
+            requests.extend(self.precompile_requests(config, backend, buckets))
+        # Dedupe by fingerprint and drop shapes the cache already holds.
+        distinct: Dict[str, CompileRequest] = {}
+        already_cached = 0
+        for request in requests:
+            iset = request.instructions or instruction_set(self.arch.sm_arch)
+            key = compile_key(request.program, self.arch, iset, request.options)
+            if key in cache:
+                already_cached += 1
+            else:
+                distinct.setdefault(key, request)
+
+        results = compile_many(
+            list(distinct.values()),
+            arch=self.arch,
+            cache=cache,
+            max_workers=max_workers,
+            return_errors=True,
+        )
+        seconds = time.perf_counter() - start
+        errors = sum(1 for r in results if isinstance(r, BaseException))
+        delta = {
+            key: value - before.get(key, 0) for key, value in cache.stats.as_dict().items()
+        }
+        return PrecompileStats(
+            requests=len(requests),
+            compiled=len(results) - errors,
+            already_cached=already_cached,
+            errors=errors,
+            seconds=seconds,
+            cache_delta=delta,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# The process-wide shared models (one per architecture)
+# --------------------------------------------------------------------------- #
+_shared_models: Dict[str, StepLatencyModel] = {}
+_shared_lock = threading.Lock()
+
+
+def shared_step_model(arch="h100") -> StepLatencyModel:
+    """The process-wide :class:`StepLatencyModel` for ``arch``.
+
+    ``e2e.decode_latency`` routes through this, so repeated calls at the
+    same (config, batch, backend, arch) are near-free memo hits.
+    """
+    gpu = get_arch(arch)
+    with _shared_lock:
+        model = _shared_models.get(gpu.name)
+        if model is None:
+            model = _shared_models[gpu.name] = StepLatencyModel(arch=gpu)
+        return model

@@ -1,0 +1,220 @@
+"""Serving workloads: requests, the arrival queue, and seeded generators.
+
+A :class:`Request` is the immutable spec of one user call — when it
+arrives, how many prompt tokens it carries, how many output tokens it wants
+and its latency SLO.  Generators produce the three canonical traffic shapes
+a continuous-batching engine is exercised with:
+
+* :func:`steady_workload` — a Poisson arrival process at a fixed rate (the
+  "well-provisioned service" regime);
+* :func:`bursty_workload` — idle gaps punctuated by near-simultaneous
+  request bursts (the "everyone hits enter at once" regime that stresses
+  queue depth and batch recomposition);
+* :func:`heavy_tail_workload` — Poisson arrivals whose *output* lengths are
+  Pareto distributed, so a few marathon generations share batches with many
+  short ones (the regime continuous batching exists for).
+
+Every generator draws from a private ``random.Random(seed)``, so a given
+``(generator, parameters, seed)`` triple always produces the identical
+request list — the property the CI determinism check relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "Request",
+    "RequestQueue",
+    "WORKLOADS",
+    "bursty_workload",
+    "heavy_tail_workload",
+    "make_workload",
+    "steady_workload",
+]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One user request: the immutable workload spec.
+
+    ``slo_ms`` is the end-to-end deadline (full generation) relative to
+    arrival; runtime state (scheduling, token progress, completion) lives in
+    the simulator's per-request tracker, not here.
+    """
+
+    request_id: int
+    arrival_ms: float
+    prompt_tokens: int
+    output_tokens: int
+    slo_ms: float
+
+    def __post_init__(self):
+        if self.prompt_tokens < 1 or self.output_tokens < 1:
+            raise ValueError(
+                f"request {self.request_id}: prompt/output token counts must be >= 1"
+            )
+        if self.arrival_ms < 0 or self.slo_ms <= 0:
+            raise ValueError(f"request {self.request_id}: bad arrival/SLO times")
+
+    @property
+    def deadline_ms(self) -> float:
+        return self.arrival_ms + self.slo_ms
+
+
+class RequestQueue:
+    """Arrival-ordered queue of not-yet-arrived requests.
+
+    The simulator pops the prefix whose arrival time has passed each step
+    and jumps simulated time to :attr:`next_arrival_ms` when idle.
+    """
+
+    def __init__(self, requests):
+        self._pending = deque(
+            sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
+        )
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def next_arrival_ms(self) -> Optional[float]:
+        return self._pending[0].arrival_ms if self._pending else None
+
+    def pop_arrived(self, now_ms: float) -> List[Request]:
+        """Remove and return every request with ``arrival_ms <= now_ms``."""
+        arrived: List[Request] = []
+        while self._pending and self._pending[0].arrival_ms <= now_ms:
+            arrived.append(self._pending.popleft())
+        return arrived
+
+
+# --------------------------------------------------------------------------- #
+# Generators
+# --------------------------------------------------------------------------- #
+def _token_count(rng: random.Random, mean: int, minimum: int = 1) -> int:
+    """An exponentially distributed token count with the given mean."""
+    return max(minimum, int(round(rng.expovariate(1.0 / mean))))
+
+
+def _default_slo_ms(output_tokens: int) -> float:
+    # A per-token latency budget plus fixed queueing slack: generous enough
+    # that an unloaded engine always meets it, tight enough that saturation
+    # shows up as SLO misses.
+    return 2000.0 + 75.0 * output_tokens
+
+
+def _build_requests(
+    arrivals_ms: List[float],
+    rng: random.Random,
+    mean_prompt_tokens: int,
+    mean_output_tokens: int,
+    slo_ms: Optional[float],
+    output_sampler: Optional[Callable[[random.Random], int]] = None,
+) -> List[Request]:
+    requests = []
+    for request_id, arrival_ms in enumerate(arrivals_ms):
+        prompt = _token_count(rng, mean_prompt_tokens)
+        if output_sampler is not None:
+            output = output_sampler(rng)
+        else:
+            output = _token_count(rng, mean_output_tokens)
+        requests.append(
+            Request(
+                request_id=request_id,
+                arrival_ms=round(arrival_ms, 6),
+                prompt_tokens=prompt,
+                output_tokens=output,
+                slo_ms=slo_ms if slo_ms is not None else _default_slo_ms(output),
+            )
+        )
+    return requests
+
+
+def steady_workload(
+    num_requests: int = 64,
+    rate_rps: float = 4.0,
+    mean_prompt_tokens: int = 512,
+    mean_output_tokens: int = 64,
+    slo_ms: Optional[float] = None,
+    seed: int = 0,
+) -> List[Request]:
+    """Poisson arrivals at ``rate_rps`` requests per second."""
+    rng = random.Random(seed)
+    now = 0.0
+    arrivals = []
+    for _ in range(num_requests):
+        now += rng.expovariate(rate_rps) * 1000.0
+        arrivals.append(now)
+    return _build_requests(arrivals, rng, mean_prompt_tokens, mean_output_tokens, slo_ms)
+
+
+def bursty_workload(
+    num_requests: int = 64,
+    burst_size: int = 8,
+    burst_interval_ms: float = 4000.0,
+    intra_burst_ms: float = 20.0,
+    mean_prompt_tokens: int = 512,
+    mean_output_tokens: int = 64,
+    slo_ms: Optional[float] = None,
+    seed: int = 0,
+) -> List[Request]:
+    """Bursts of ``burst_size`` near-simultaneous requests, then silence."""
+    rng = random.Random(seed)
+    arrivals = []
+    burst_start = 0.0
+    while len(arrivals) < num_requests:
+        burst_start += rng.expovariate(1.0) * burst_interval_ms
+        for _ in range(min(burst_size, num_requests - len(arrivals))):
+            arrivals.append(burst_start + rng.uniform(0.0, intra_burst_ms))
+    arrivals.sort()
+    return _build_requests(arrivals, rng, mean_prompt_tokens, mean_output_tokens, slo_ms)
+
+
+def heavy_tail_workload(
+    num_requests: int = 64,
+    rate_rps: float = 4.0,
+    mean_prompt_tokens: int = 512,
+    min_output_tokens: int = 8,
+    pareto_alpha: float = 1.3,
+    max_output_tokens: int = 2048,
+    slo_ms: Optional[float] = None,
+    seed: int = 0,
+) -> List[Request]:
+    """Poisson arrivals with Pareto-distributed output lengths.
+
+    Most generations are short, but the tail is long enough that a handful
+    of requests dominate batch occupancy — the scheduling-sensitive regime.
+    """
+    rng = random.Random(seed)
+    now = 0.0
+    arrivals = []
+    for _ in range(num_requests):
+        now += rng.expovariate(rate_rps) * 1000.0
+        arrivals.append(now)
+
+    def sample_output(r: random.Random) -> int:
+        return min(max_output_tokens, int(min_output_tokens * r.paretovariate(pareto_alpha)))
+
+    return _build_requests(
+        arrivals, rng, mean_prompt_tokens, 0, slo_ms, output_sampler=sample_output
+    )
+
+
+WORKLOADS: Dict[str, Callable[..., List[Request]]] = {
+    "steady": steady_workload,
+    "bursty": bursty_workload,
+    "heavy-tail": heavy_tail_workload,
+}
+
+
+def make_workload(name: str, **kwargs) -> List[Request]:
+    """Build a named workload (``steady``, ``bursty``, ``heavy-tail``)."""
+    try:
+        generator = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r} (expected one of {sorted(WORKLOADS)})")
+    return generator(**kwargs)

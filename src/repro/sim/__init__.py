@@ -1,7 +1,7 @@
 """The simulated GPU substrate standing in for real A100/H100 hardware:
 architecture specs, the kernel timing model and the functional executor."""
 
-from repro.sim.arch import GpuArch, A100, H100, get_arch
+from repro.sim.arch import GpuArch, A100, H100, DEFAULT_ARCH, get_arch
 from repro.sim.timing import (
     KernelTiming,
     estimate_kernel_latency,
@@ -14,6 +14,7 @@ __all__ = [
     "GpuArch",
     "A100",
     "H100",
+    "DEFAULT_ARCH",
     "get_arch",
     "KernelTiming",
     "estimate_kernel_latency",

@@ -15,7 +15,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-__all__ = ["GpuArch", "A100", "H100", "get_arch"]
+__all__ = ["GpuArch", "A100", "H100", "DEFAULT_ARCH", "get_arch"]
+
+# The canonical architecture every compile entry point defaults to
+# (``compile_kernel``, ``compile_program``, ``compile_many``,
+# ``autotune_compile``).  Any spelling accepted by :func:`get_arch` —
+# ``"a100"``/``"h100"``, the SM numbers ``80``/``90``, ``"sm_80"``, or a
+# :class:`GpuArch` — selects an architecture explicitly.
+DEFAULT_ARCH = "a100"
 
 
 @dataclass(frozen=True)

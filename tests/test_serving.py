@@ -1,0 +1,336 @@
+"""Tests for the continuous-batching serving subsystem (repro.serving)."""
+
+import dataclasses
+
+import pytest
+
+from repro.e2e import ModelConfig
+from repro.pipeline import CompileCache
+from repro.serving import (
+    FcfsScheduler,
+    MaxBatchScheduler,
+    Request,
+    RequestQueue,
+    ServingSimulator,
+    SloScheduler,
+    StepLatencyModel,
+    bursty_workload,
+    get_scheduler,
+    heavy_tail_workload,
+    make_workload,
+    percentile,
+    shared_step_model,
+    steady_workload,
+)
+from repro.serving.report import RequestMetrics, ServeReport
+from repro.serving.scheduler import Scheduler
+from repro.serving.step_model import attention_step_us, operator_plan
+from repro.sim.arch import get_arch
+
+# Small model configs so the compiles under test stay cheap.
+TINY_DENSE = ModelConfig(
+    name="tiny-dense",
+    num_layers=2,
+    hidden_size=256,
+    num_heads=4,
+    kv_len=256,
+    head_dim=64,
+    dense_ffn_layers=2,
+    ffn_intermediate=512,
+    weight_dtype="fp16",
+    tensor_parallel=1,
+)
+TINY_MAMBA = ModelConfig(
+    name="tiny-mamba",
+    num_layers=2,
+    hidden_size=256,
+    num_heads=4,
+    kv_len=256,
+    head_dim=64,
+    mamba_layers=1,
+    mamba_d_inner=128,
+    weight_dtype="fp16",
+    tensor_parallel=1,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Workloads
+# --------------------------------------------------------------------------- #
+def test_workloads_are_seed_deterministic():
+    for name in ("steady", "bursty", "heavy-tail"):
+        first = make_workload(name, num_requests=20, seed=5)
+        second = make_workload(name, num_requests=20, seed=5)
+        assert first == second
+        assert make_workload(name, num_requests=20, seed=6) != first
+        assert len(first) == 20
+        assert all(r.prompt_tokens >= 1 and r.output_tokens >= 1 for r in first)
+
+
+def test_workload_shapes():
+    bursty = bursty_workload(num_requests=24, burst_size=8, intra_burst_ms=20.0, seed=1)
+    gaps = [b.arrival_ms - a.arrival_ms for a, b in zip(bursty, bursty[1:])]
+    # Bursts: most gaps are tiny, a few (between bursts) are large.
+    assert max(gaps) > 100.0 and sorted(gaps)[len(gaps) // 2] < 20.0
+
+    tail = heavy_tail_workload(num_requests=200, min_output_tokens=8, seed=2)
+    outputs = sorted(r.output_tokens for r in tail)
+    assert outputs[0] >= 8
+    # A heavy tail: the max output dwarfs the median.
+    assert outputs[-1] > 10 * outputs[len(outputs) // 2]
+
+    with pytest.raises(KeyError):
+        make_workload("nope")
+
+
+def test_request_queue_pops_in_arrival_order():
+    requests = [
+        Request(request_id=2, arrival_ms=50.0, prompt_tokens=8, output_tokens=4, slo_ms=1e4),
+        Request(request_id=0, arrival_ms=10.0, prompt_tokens=8, output_tokens=4, slo_ms=1e4),
+        Request(request_id=1, arrival_ms=10.0, prompt_tokens=8, output_tokens=4, slo_ms=1e4),
+    ]
+    queue = RequestQueue(requests)
+    assert queue.next_arrival_ms == 10.0
+    assert [r.request_id for r in queue.pop_arrived(10.0)] == [0, 1]
+    assert queue.next_arrival_ms == 50.0 and len(queue) == 1
+    assert queue.pop_arrived(49.9) == []
+    assert [r.request_id for r in queue.pop_arrived(1e9)] == [2]
+
+    with pytest.raises(ValueError):
+        Request(request_id=0, arrival_ms=0.0, prompt_tokens=0, output_tokens=4, slo_ms=1e4)
+
+
+# --------------------------------------------------------------------------- #
+# Schedulers
+# --------------------------------------------------------------------------- #
+def _request(rid, arrival, slo=10_000.0):
+    return Request(
+        request_id=rid, arrival_ms=arrival, prompt_tokens=16, output_tokens=8, slo_ms=slo
+    )
+
+
+def test_fcfs_admits_in_arrival_order():
+    waiting = [_request(0, 0.0), _request(1, 1.0), _request(2, 2.0)]
+    picked = FcfsScheduler().select(waiting, running=0, free_slots=2, now_ms=5.0, more_arrivals=True)
+    assert [r.request_id for r in picked] == [0, 1]
+
+
+def test_slo_scheduler_prefers_tight_deadlines():
+    # Request 1 arrived later but its deadline is much earlier.
+    waiting = [_request(0, 0.0, slo=50_000.0), _request(1, 1.0, slo=1_000.0)]
+    picked = SloScheduler().select(waiting, running=0, free_slots=1, now_ms=5.0, more_arrivals=True)
+    assert [r.request_id for r in picked] == [1]
+
+
+def test_max_batch_defers_until_full_or_final():
+    scheduler = MaxBatchScheduler(max_wait_ms=500.0)
+    waiting = [_request(0, 0.0), _request(1, 1.0)]
+    # Batch cannot be filled and more traffic is coming: hold.
+    assert scheduler.select(waiting, 0, free_slots=4, now_ms=5.0, more_arrivals=True) == []
+    # No more arrivals ever: flush.
+    assert len(scheduler.select(waiting, 0, free_slots=4, now_ms=5.0, more_arrivals=False)) == 2
+    # Enough waiting to fill: admit.
+    waiting4 = waiting + [_request(2, 2.0), _request(3, 3.0)]
+    assert len(scheduler.select(waiting4, 0, free_slots=4, now_ms=5.0, more_arrivals=True)) == 4
+    # A straggler ages past max_wait_ms: forced admission round.
+    assert len(scheduler.select(waiting, 0, free_slots=4, now_ms=600.0, more_arrivals=True)) == 2
+
+
+def test_get_scheduler_resolves_names_and_instances():
+    assert isinstance(get_scheduler("fcfs"), FcfsScheduler)
+    custom = MaxBatchScheduler(max_wait_ms=10.0)
+    assert get_scheduler(custom) is custom
+    with pytest.raises(KeyError):
+        get_scheduler("round-robin")
+
+
+# --------------------------------------------------------------------------- #
+# Step-latency model
+# --------------------------------------------------------------------------- #
+def test_bucket_for_rounds_up_and_clamps():
+    model = StepLatencyModel(arch="a100", buckets=(1, 2, 4, 8))
+    assert model.bucket_for(1) == 1
+    assert model.bucket_for(3) == 4
+    assert model.bucket_for(8) == 8
+    assert model.bucket_for(100) == 8  # clamped to the largest bucket
+    with pytest.raises(ValueError):
+        model.bucket_for(0)
+    with pytest.raises(ValueError):
+        StepLatencyModel(arch="a100", buckets=())
+
+
+def test_operator_plan_resolves_baselines():
+    plan = dict((name, backend) for name, _, backend in operator_plan(TINY_MAMBA, "baseline"))
+    assert plan["attention"] == "baseline"
+    assert plan["mamba_scan"] == "mamba-lib"
+    hexcute = dict((name, b) for name, _, b in operator_plan(TINY_MAMBA, "hexcute"))
+    assert set(hexcute.values()) == {"hexcute"}
+
+
+def test_step_model_memoizes_buckets():
+    model = StepLatencyModel(arch="a100", buckets=(1, 2, 4, 8))
+    first = model.operator_latencies_us(TINY_DENSE, "hexcute", batch=3)
+    assert model.memo_misses == 1 and model.memo_hits == 0
+    # Same bucket (4): memo hit, identical values.
+    again = model.operator_latencies_us(TINY_DENSE, "hexcute", batch=4)
+    assert model.memo_hits == 1
+    assert again == first
+    # Different bucket: a new miss.
+    model.operator_latencies_us(TINY_DENSE, "hexcute", batch=8)
+    assert model.memo_misses == 2
+
+
+def test_step_model_parallel_serial_equivalence():
+    parallel = StepLatencyModel(arch="a100").operator_latencies_us(
+        TINY_DENSE, "hexcute", batch=2, parallel=True
+    )
+    serial = StepLatencyModel(arch="a100").operator_latencies_us(
+        TINY_DENSE, "hexcute", batch=2, parallel=False
+    )
+    assert parallel == serial
+    assert set(parallel) == {"attention", "ffn"}
+
+
+def test_precompile_warms_cache_and_evaluation_hits_it():
+    cache = CompileCache(max_entries=256)
+    model = StepLatencyModel(arch="a100", buckets=(1, 2), cache=cache)
+    cold = model.precompile(TINY_DENSE)
+    assert cold.requests > 0 and cold.compiled > 0 and cold.errors == 0
+    assert cold.already_cached == 0
+    assert cold.cache_delta["puts"] == cold.compiled
+
+    # A second model over the same cache starts warm: nothing to compile.
+    warm = StepLatencyModel(arch="a100", buckets=(1, 2), cache=cache).precompile(TINY_DENSE)
+    assert warm.compiled == 0 and warm.already_cached == warm.requests
+
+    # Evaluation afterwards only *hits* the precompiled cache (no new puts).
+    puts_before = cache.stats.puts
+    latency = model.step_latency_ms(TINY_DENSE, "hexcute", batch=2)
+    assert latency > 0
+    assert cache.stats.puts == puts_before
+
+
+def test_head_dim_is_parameterized():
+    gpu = get_arch("a100")
+    narrow = attention_step_us(gpu, dataclasses.replace(TINY_DENSE, head_dim=64), 4, "baseline")
+    wide = attention_step_us(gpu, dataclasses.replace(TINY_DENSE, head_dim=128), 4, "baseline")
+    assert narrow < wide  # half the head dim moves half the KV bytes
+
+
+# --------------------------------------------------------------------------- #
+# Simulator
+# --------------------------------------------------------------------------- #
+def _simulate_tiny(scheduler="fcfs", seed=3, **kwargs):
+    workload = steady_workload(
+        num_requests=12, rate_rps=50.0, mean_prompt_tokens=64, mean_output_tokens=12, seed=seed
+    )
+    sim = ServingSimulator(
+        TINY_DENSE,
+        backend="hexcute",
+        scheduler=scheduler,
+        arch="a100",
+        max_batch_size=4,
+        **kwargs,
+    )
+    return sim.simulate(workload, workload="steady")
+
+
+def test_simulator_completes_every_request_deterministically():
+    first = _simulate_tiny()
+    second = _simulate_tiny()
+    assert first.digest() == second.digest()
+    assert first.num_requests == 12
+    assert first.steps > 0 and first.duration_ms > 0
+    assert first.throughput_tok_s > 0
+    assert 0.0 <= first.slo_attainment <= 1.0
+    assert 1.0 <= first.mean_batch_size <= 4.0
+    for metrics in first.requests:
+        assert metrics.scheduled_ms >= metrics.arrival_ms
+        assert metrics.first_token_ms > metrics.scheduled_ms
+        assert metrics.finish_ms >= metrics.first_token_ms
+        assert metrics.latency_ms > 0 and metrics.ttft_ms > 0
+
+
+def test_simulator_schedulers_produce_valid_but_distinct_traces():
+    fcfs = _simulate_tiny("fcfs")
+    maxb = _simulate_tiny("max-batch")
+    assert fcfs.num_requests == maxb.num_requests == 12
+    # max-batch trades queueing delay for occupancy.
+    assert maxb.mean_batch_size >= fcfs.mean_batch_size
+    assert fcfs.digest() != maxb.digest()
+
+
+def test_max_batch_straggler_admitted_within_max_wait():
+    """An idle engine must not sleep past max-batch's max_wait_ms deferral.
+
+    Two requests arrive 10 s apart: the first can never fill the batch, so
+    the scheduler defers — but its forced-admission round must fire at
+    max_wait_ms, not at the second arrival."""
+    requests = [
+        Request(request_id=0, arrival_ms=0.0, prompt_tokens=8, output_tokens=2, slo_ms=1e6),
+        Request(request_id=1, arrival_ms=10_000.0, prompt_tokens=8, output_tokens=2, slo_ms=1e6),
+    ]
+    sim = ServingSimulator(
+        TINY_DENSE, scheduler=MaxBatchScheduler(max_wait_ms=500.0), arch="a100",
+        max_batch_size=4,
+    )
+    report = sim.simulate(requests)
+    first = next(m for m in report.requests if m.request_id == 0)
+    assert first.scheduled_ms == 500.0  # the forced flush, not the 10 s arrival
+
+
+def test_simulator_rejects_overadmitting_scheduler():
+    class Greedy(Scheduler):
+        name = "greedy"
+
+        def select(self, waiting, running, free_slots, now_ms, more_arrivals):
+            return list(waiting)  # ignores free_slots
+
+    workload = steady_workload(num_requests=8, rate_rps=1000.0, seed=0)
+    sim = ServingSimulator(
+        TINY_DENSE, scheduler=Greedy(), arch="a100", max_batch_size=2,
+        step_model=shared_step_model("a100"),
+    )
+    with pytest.raises(RuntimeError):
+        sim.simulate(workload)
+
+
+# --------------------------------------------------------------------------- #
+# Reporting
+# --------------------------------------------------------------------------- #
+def test_percentile_interpolates():
+    values = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(values, 0) == 10.0
+    assert percentile(values, 100) == 40.0
+    assert percentile(values, 50) == 25.0
+    assert percentile([], 99) == 0.0
+    with pytest.raises(ValueError):
+        percentile(values, 101)
+
+
+def _metrics(rid=0, finish=100.0):
+    return RequestMetrics(
+        request_id=rid,
+        arrival_ms=0.0,
+        scheduled_ms=1.0,
+        first_token_ms=2.0,
+        finish_ms=finish,
+        prompt_tokens=16,
+        output_tokens=8,
+        slo_ms=50.0,
+    )
+
+
+def test_report_digest_is_content_sensitive():
+    def report(finish):
+        return ServeReport(
+            model="m", backend="hexcute", scheduler="fcfs", workload="steady",
+            arch="A100-PCIe-80GB", num_requests=1, total_output_tokens=8,
+            duration_ms=finish, steps=8, mean_batch_size=1.0,
+            mean_queue_depth=0.0, max_queue_depth=0, requests=[_metrics(finish=finish)],
+        )
+
+    assert report(100.0).digest() == report(100.0).digest()
+    assert report(100.0).digest() != report(101.0).digest()
+    assert report(100.0).requests[0].slo_met is False  # 100 ms > 50 ms SLO
+    assert report(100.0).slo_attainment == 0.0
