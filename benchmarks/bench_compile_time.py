@@ -1,19 +1,60 @@
 """Section VII-C: compilation time — candidate enumeration stays in the same
 ballpark as Triton's autotuning (the paper: 48.4 s for 102 candidates vs
 57.1 s; here we check candidates are enumerated and timed, per compile),
-plus the compile-cache smoke check: a warm (cached) recompile must be at
-least 5x faster than the cold compile, and a replay on an *equivalent*
-program (re-built from scratch, so a different object) must also beat the
-cold search while producing a bit-identical kernel."""
+plus two smoke checks:
 
+* the compile-cache check: a warm (cached) recompile must be at least 5x
+  faster than the cold compile, and a replay on an *equivalent* program
+  (re-built from scratch, so a different object) must also beat the cold
+  search while producing a bit-identical kernel;
+* the branch-and-bound regression guard (``--smoke``, run in CI): the cold
+  compile of the fig22 GEMM config must finish with strictly fewer full
+  leaf evaluations than ``candidates_explored`` under the old (flat
+  enumeration) scheme, while choosing a bit-identical candidate.
+
+Run as a script for the standalone modes::
+
+    PYTHONPATH=src python benchmarks/bench_compile_time.py --smoke
+"""
+
+import argparse
+import sys
 import time
 
 from repro.compiler import compile_kernel
+from repro.instructions.registry import instruction_set
 from repro.kernels.gemm import GemmConfig, build_fp16_gemm
 from repro.pipeline import CompileCache
+from repro.sim.arch import get_arch
+from repro.synthesis.search import InstructionSelector
+from repro.synthesis.smem_solver import clear_smem_cache
+from repro.synthesis.tv_solver import ThreadValueSolver
+from repro.utils.memo import clear_caches
 
 CONFIG = GemmConfig(bm=128, bn=128, bk=32)
 PROBLEM = (256, 256, 512)
+MAX_CANDIDATES = 102  # the paper's Section VII-C candidate count
+
+# The fig22 A100 GEMM configuration gated by the CI --smoke mode.
+FIG22_ARCH = "a100"
+FIG22_CONFIG = GemmConfig(bm=128, bn=128, bk=32)
+FIG22_PROBLEM = (4096, 4096, 4096)
+
+
+def search_cold(arch, problem, config, exhaustive):
+    """One cold search (tv synthesis + instruction selection) on a fresh
+    program, timed, via branch-and-bound or the flat-enumeration reference."""
+    gpu = get_arch(arch)
+    iset = instruction_set(gpu.sm_arch)
+    program = build_fp16_gemm(*problem, config)
+    start = time.perf_counter()
+    tv = ThreadValueSolver(program, iset).solve()
+    tv_s = time.perf_counter() - start
+    selector = InstructionSelector(program, tv, iset, max_candidates=MAX_CANDIDATES)
+    start = time.perf_counter()
+    best = selector.best_exhaustive() if exhaustive else selector.best()
+    search_s = time.perf_counter() - start
+    return selector, best, tv_s, search_s
 
 
 def compile_cold_and_warm():
@@ -22,32 +63,69 @@ def compile_cold_and_warm():
 
     program = build_fp16_gemm(m, n, k, CONFIG)
     start = time.perf_counter()
-    cold = compile_kernel(program, arch="h100", max_candidates=102, cache=cache)
+    cold = compile_kernel(program, arch="h100", max_candidates=MAX_CANDIDATES, cache=cache)
     cold_s = time.perf_counter() - start
 
     # Warm path 1: recompiling the very same program object is a direct
     # cache hit.
     start = time.perf_counter()
-    warm = compile_kernel(program, arch="h100", max_candidates=102, cache=cache)
+    warm = compile_kernel(program, arch="h100", max_candidates=MAX_CANDIDATES, cache=cache)
     warm_s = time.perf_counter() - start
 
     # Warm path 2: an equivalent program built from scratch replays the
     # cached instruction assignment (single-candidate evaluation, no search).
     rebuilt = build_fp16_gemm(m, n, k, CONFIG)
     start = time.perf_counter()
-    replay = compile_kernel(rebuilt, arch="h100", max_candidates=102, cache=cache)
+    replay = compile_kernel(rebuilt, arch="h100", max_candidates=MAX_CANDIDATES, cache=cache)
     replay_s = time.perf_counter() - start
 
-    return cold, warm, replay, cold_s, warm_s, replay_s
+    # The pre-branch-and-bound reference on the same config: flat enumeration
+    # of the same candidate window.  The process-wide memo layers (layout
+    # algebra, structural smem subproblems) are dropped first so the
+    # reference pays the same cold-start costs the old scheme did.
+    clear_smem_cache()
+    clear_caches()
+    ref_sel, ref_best, ref_tv_s, ref_search_s = search_cold(
+        "h100", PROBLEM, CONFIG, exhaustive=True
+    )
+
+    return cold, warm, replay, cold_s, warm_s, replay_s, ref_sel, ref_best, ref_search_s
+
+
+def report_search_stats(kernel):
+    stats = kernel.pass_stats
+    print(
+        f"  search: {stats.get('instruction-selection.leaves_evaluated', 0):.0f} leaves evaluated, "
+        f"{kernel.leaves_pruned} pruned, "
+        f"{kernel.subproblems_memoized} smem subproblems memoized, "
+        f"{stats.get('instruction-selection.smem_solves', 0):.0f} smem solves"
+    )
 
 
 def test_compile_time(once):
-    cold, warm, replay, cold_s, warm_s, replay_s = once(compile_cold_and_warm)
+    (
+        cold,
+        warm,
+        replay,
+        cold_s,
+        warm_s,
+        replay_s,
+        ref_sel,
+        ref_best,
+        ref_search_s,
+    ) = once(compile_cold_and_warm)
     print()
-    print(f"cold: explored {cold.candidates_explored} candidates in {cold_s:.2f} s "
+    print(f"cold: explored {cold.candidates_explored} candidate leaves in {cold_s:.2f} s "
           f"({cold_s / max(cold.candidates_explored, 1) * 1000:.1f} ms per candidate)")
-    for name, seconds in cold.pass_stats.items():
+    report_search_stats(cold)
+    for name, seconds in cold.pass_times().items():
         print(f"  {name}: {seconds * 1000:.1f} ms")
+    sel_s = cold.pass_stats.get("instruction-selection", 0.0)
+    print(f"old scheme (flat enumeration over the same memo layers): "
+          f"{ref_sel.stats.leaves_evaluated} leaves evaluated, "
+          f"search pass {ref_search_s * 1000:.1f} ms "
+          f"(branch-and-bound delta: {(ref_search_s - sel_s) * 1000:+.1f} ms, "
+          f"{ref_sel.stats.leaves_evaluated - int(cold.pass_stats['instruction-selection.leaves_evaluated'])} fewer leaves)")
     print(f"warm (same program, cache hit): {warm_s * 1000:.2f} ms "
           f"({cold_s / max(warm_s, 1e-9):.0f}x faster)")
     print(f"warm (equivalent program, replay): {replay_s * 1000:.1f} ms "
@@ -56,6 +134,18 @@ def test_compile_time(once):
 
     assert cold.candidates_explored >= 10
     assert cold_s < 120
+    # The branch-and-bound regression guard: strictly fewer full leaf
+    # evaluations than the flat enumeration's candidates_explored, same
+    # winning candidate.
+    assert (
+        cold.pass_stats["instruction-selection.leaves_evaluated"]
+        < ref_sel.candidates_explored
+    )
+    assert cold.leaves_pruned > 0
+    assert cold.candidate.named_assignment(cold.program) == ref_best.named_assignment(
+        ref_sel.program
+    )
+    assert cold.cost.total_cycles == ref_best.total_cycles
     # The compile-cache smoke check: warm recompiles must be >= 5x faster.
     assert warm.cache_hit and replay.cache_hit
     assert warm_s * 5 <= cold_s
@@ -67,3 +157,70 @@ def test_compile_time(once):
     for cached in (warm, replay):
         assert cached.latency_us == cold.latency_us
         assert cached.source == cold.source
+
+
+def run_smoke() -> int:
+    """CI gate: cold-compile the fig22 GEMM config with branch-and-bound and
+    with the flat-enumeration reference; require strictly fewer full leaf
+    evaluations and a bit-identical winner.  Returns a process exit code.
+
+    Both runs start from cold process-wide memo layers so the printed
+    timings are comparable."""
+    clear_smem_cache()
+    clear_caches()
+    bnb_sel, bnb_best, bnb_tv_s, bnb_search_s = search_cold(
+        FIG22_ARCH, FIG22_PROBLEM, FIG22_CONFIG, exhaustive=False
+    )
+    clear_smem_cache()
+    clear_caches()
+    ref_sel, ref_best, ref_tv_s, ref_search_s = search_cold(
+        FIG22_ARCH, FIG22_PROBLEM, FIG22_CONFIG, exhaustive=True
+    )
+    print(f"fig22 GEMM config ({FIG22_ARCH}, bm={FIG22_CONFIG.bm} bn={FIG22_CONFIG.bn} "
+          f"bk={FIG22_CONFIG.bk}, {MAX_CANDIDATES} candidates):")
+    print(f"  branch-and-bound: {bnb_sel.stats.leaves_evaluated} leaves evaluated, "
+          f"{bnb_sel.stats.leaves_pruned} pruned, "
+          f"{bnb_sel.stats.smem_solves} smem solves, "
+          f"{bnb_sel.stats.subproblems_memoized} memoized, "
+          f"search {bnb_search_s * 1000:.1f} ms (+ tv {bnb_tv_s * 1000:.1f} ms)")
+    print(f"  flat enumeration: {ref_sel.candidates_explored} candidates explored "
+          f"({ref_sel.stats.leaves_evaluated} evaluated), "
+          f"search {ref_search_s * 1000:.1f} ms")
+
+    failures = []
+    if not bnb_sel.stats.leaves_evaluated < ref_sel.candidates_explored:
+        failures.append(
+            f"pruner regression: {bnb_sel.stats.leaves_evaluated} leaf evaluations "
+            f"is not strictly fewer than the old scheme's "
+            f"{ref_sel.candidates_explored} candidates"
+        )
+    if bnb_best.named_assignment(bnb_sel.program) != ref_best.named_assignment(
+        ref_sel.program
+    ):
+        failures.append("winning assignment differs from the exhaustive reference")
+    if bnb_best.total_cycles != ref_best.total_cycles:
+        failures.append(
+            f"winning cost differs: {bnb_best.total_cycles} vs {ref_best.total_cycles}"
+        )
+    for failure in failures:
+        print(f"  FAIL: {failure}")
+    if not failures:
+        print("  OK: strictly fewer leaf evaluations, bit-identical winner")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the branch-and-bound CI gate on the fig22 GEMM config",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke()
+    parser.error("choose a mode (--smoke); the timing harness runs under pytest")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

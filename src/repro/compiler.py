@@ -53,8 +53,13 @@ class CompiledKernel:
     candidates_explored: int = 0
     alternatives: list = field(default_factory=list)
     # Per-pass wall time of the compile that produced this kernel, keyed by
-    # pass name (empty when the kernel came straight from the cache).
+    # pass name (empty when the kernel came straight from the cache).  Keys
+    # of the form "<pass>.<stat>" carry search counters (leaves evaluated /
+    # pruned, memoized subproblems) instead of seconds.
     pass_stats: Dict[str, float] = field(default_factory=dict)
+    # Branch-and-bound search instrumentation of the producing compile.
+    leaves_pruned: int = 0
+    subproblems_memoized: int = 0
     cache_hit: bool = False
     fingerprint: Optional[str] = None
 
@@ -92,9 +97,13 @@ class CompiledKernel:
     def lines_of_code(self) -> int:
         return self.program.loc_estimate()
 
+    def pass_times(self) -> Dict[str, float]:
+        """The timing subset of ``pass_stats`` (dotted keys are counters)."""
+        return {k: v for k, v in self.pass_stats.items() if "." not in k}
+
     def compile_seconds(self) -> float:
         """Total wall time spent in compiler passes for this kernel."""
-        return sum(self.pass_stats.values())
+        return sum(self.pass_times().values())
 
     def summary(self) -> str:
         lines = [
@@ -105,11 +114,14 @@ class CompiledKernel:
             f"(mem {self.cost.memory_issue_cycles:.0f}, "
             f"compute {self.cost.compute_issue_cycles:.0f}, "
             f"stall {self.cost.stall_cycles:.0f})",
-            f"  candidates explored: {self.candidates_explored}",
+            f"  candidates explored: {self.candidates_explored} "
+            f"(pruned {self.leaves_pruned}, "
+            f"memoized subproblems {self.subproblems_memoized})",
         ]
         if self.pass_stats:
             timed = ", ".join(
-                f"{name} {seconds * 1000:.1f} ms" for name, seconds in self.pass_stats.items()
+                f"{name} {seconds * 1000:.1f} ms"
+                for name, seconds in self.pass_times().items()
             )
             lines.append(f"  pass times: {timed}")
         for op in self.program.copies():

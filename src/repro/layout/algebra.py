@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Sequence, Union
 
 from repro.layout.layout import Layout, make_layout
+from repro.utils.memo import memoized
 from repro.utils.inttuple import (
     IntTuple,
     ceil_div,
@@ -59,6 +60,13 @@ def _as_layout(value: LayoutOrInt) -> Layout:
 # --------------------------------------------------------------------------- #
 # Coalesce
 # --------------------------------------------------------------------------- #
+# The four hot algebra operations below are memoized behind bounded caches
+# (see repro.utils.memo): layouts are immutable values with structural
+# hashing, so each operation is a pure function of its arguments, and the
+# instruction-selection search re-derives the same composites for every
+# candidate leaf.  Exceptions (e.g. a non-complementable layout) are never
+# cached.
+@memoized(maxsize=16384)
 def coalesce(layout: Layout, profile: IntTuple | None = None) -> Layout:
     """Simplify a layout without changing it as a function.
 
@@ -107,6 +115,7 @@ def filter_zeros(layout: Layout) -> Layout:
 # --------------------------------------------------------------------------- #
 # Composition
 # --------------------------------------------------------------------------- #
+@memoized(maxsize=16384)
 def composition(layout_a: LayoutOrInt, layout_b) -> Layout:
     """Functional composition ``A ∘ B``: ``(A ∘ B)(c) = A(B(c))``.
 
@@ -159,6 +168,7 @@ def composition(layout_a: LayoutOrInt, layout_b) -> Layout:
 # --------------------------------------------------------------------------- #
 # Complement
 # --------------------------------------------------------------------------- #
+@memoized(maxsize=8192)
 def complement(layout: LayoutOrInt, cosize_hi: int | None = None) -> Layout:
     """The layout covering the codomain indices *not* touched by ``layout``.
 
@@ -197,6 +207,7 @@ def complement(layout: LayoutOrInt, cosize_hi: int | None = None) -> Layout:
 # --------------------------------------------------------------------------- #
 # Inverses
 # --------------------------------------------------------------------------- #
+@memoized(maxsize=8192)
 def right_inverse(layout: LayoutOrInt) -> Layout:
     """A layout ``R`` with ``L(R(i)) = i`` for every ``i`` in ``[0, size(R))``.
 

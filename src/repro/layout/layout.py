@@ -53,7 +53,7 @@ class Layout:
         If omitted, the compact column-major strides of ``shape`` are used.
     """
 
-    __slots__ = ("shape", "stride")
+    __slots__ = ("shape", "stride", "_hash")
 
     def __init__(self, shape: IntTuple, stride: IntTuple | None = None):
         validate(shape)
@@ -67,6 +67,10 @@ class Layout:
             )
         self.shape = shape
         self.stride = stride
+        # Structural hash, computed lazily and cached: layouts are immutable
+        # after construction and are used as keys in the memoized layout
+        # algebra (repro.utils.memo), so hashing must be cheap on repeats.
+        self._hash = None
 
     # ------------------------------------------------------------------ #
     # Basic queries
@@ -193,7 +197,11 @@ class Layout:
         return self.shape == other.shape and self.stride == other.stride
 
     def __hash__(self) -> int:
-        return hash((self.shape, self.stride))
+        # The (shape, stride) pair is the canonical structural key under
+        # which layouts are memoized and compared (cf. __eq__).
+        if self._hash is None:
+            self._hash = hash((self.shape, self.stride))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"{_fmt(self.shape)}:{_fmt(self.stride)}"

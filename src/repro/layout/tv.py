@@ -226,6 +226,18 @@ class TVLayout:
     def bytes_per_thread(self, element_bits: int) -> int:
         return self.values_per_thread * element_bits // 8
 
+    def __hash__(self) -> int:
+        # Structural hash with per-instance caching (TV layouts participate
+        # in the memoized layout algebra and in instruction hashing, where
+        # they are re-hashed for every candidate leaf of the search).  The
+        # (layout, tile_shape) pair is the canonical structural key, matching
+        # the dataclass-generated __eq__.
+        cached = getattr(self, "_cached_hash", None)
+        if cached is None:
+            cached = hash((self.layout, self.tile_shape))
+            object.__setattr__(self, "_cached_hash", cached)
+        return cached
+
     def __repr__(self) -> str:
         return f"TV[{self.layout} over tile {self.tile_shape}]"
 

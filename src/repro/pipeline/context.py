@@ -79,6 +79,10 @@ class CompilationContext:
     source: Optional[str] = None
     timing: Optional[object] = None  # sim.timing.KernelTiming
     candidates_explored: int = 0
+    # Branch-and-bound search instrumentation (synthesis.search.SelectionStats):
+    # leaf equivalents cut by pruning, and shared-memory subproblem memo hits.
+    leaves_pruned: int = 0
+    subproblems_memoized: int = 0
 
     # --- cache / replay state ------------------------------------------ #
     # A cached instruction assignment, one (name, direction, vector_bytes)

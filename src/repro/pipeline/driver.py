@@ -55,6 +55,8 @@ def _finish(ctx: CompilationContext):
         timing=ctx.timing,
         source=ctx.source,
         candidates_explored=ctx.candidates_explored,
+        leaves_pruned=ctx.leaves_pruned,
+        subproblems_memoized=ctx.subproblems_memoized,
         alternatives=ctx.alternatives,
         pass_stats=dict(ctx.pass_stats),
         cache_hit=ctx.cache_hit,

@@ -109,6 +109,21 @@ class InstructionSelectionPass(CompilerPass):
         ctx.candidate = best
         ctx.cost = best.cost
         ctx.candidates_explored = selector.candidates_explored
+        ctx.leaves_pruned = selector.stats.leaves_pruned
+        ctx.subproblems_memoized = selector.stats.subproblems_memoized
+        # Searches expose their branch-and-bound counters alongside the pass
+        # timings ("<pass>.<stat>" keys carry counts, not seconds, and are
+        # excluded from CompiledKernel.compile_seconds()).
+        ctx.pass_stats[f"{self.name}.leaves_evaluated"] = float(
+            selector.stats.leaves_evaluated
+        )
+        ctx.pass_stats[f"{self.name}.leaves_pruned"] = float(
+            selector.stats.leaves_pruned
+        )
+        ctx.pass_stats[f"{self.name}.subproblems_memoized"] = float(
+            selector.stats.subproblems_memoized
+        )
+        ctx.pass_stats[f"{self.name}.smem_solves"] = float(selector.stats.smem_solves)
 
 
 class SmemSwizzlePass(CompilerPass):

@@ -31,8 +31,19 @@ from repro.synthesis.smem_solver import (
     copy_access_for,
     synthesize_smem_layout,
 )
-from repro.synthesis.cost_model import AnalyticalCostModel, CostBreakdown, OperationCost
-from repro.synthesis.search import Candidate, InstructionSelector, SelectionError
+from repro.synthesis.cost_model import (
+    AnalyticalCostModel,
+    CostBreakdown,
+    InvariantCosts,
+    OperationCost,
+    copy_issue_cycles,
+)
+from repro.synthesis.search import (
+    Candidate,
+    InstructionSelector,
+    SelectionError,
+    SelectionStats,
+)
 
 __all__ = [
     "TiledMma",
@@ -58,8 +69,11 @@ __all__ = [
     "synthesize_smem_layout",
     "AnalyticalCostModel",
     "CostBreakdown",
+    "InvariantCosts",
     "OperationCost",
+    "copy_issue_cycles",
     "Candidate",
     "InstructionSelector",
     "SelectionError",
+    "SelectionStats",
 ]

@@ -37,7 +37,76 @@ from repro.ir.ops import (
 )
 from repro.ir.tensor import Scope, TileTensor
 
-__all__ = ["OperationCost", "CostBreakdown", "AnalyticalCostModel"]
+__all__ = [
+    "OperationCost",
+    "CostBreakdown",
+    "AnalyticalCostModel",
+    "InvariantCosts",
+    "copy_issue_cycles",
+]
+
+
+def copy_issue_cycles(
+    program: KernelProgram,
+    op: Copy,
+    instruction: MemoryInstruction,
+    conflict: float = 1.0,
+) -> float:
+    """Per-trip issue cycles of one copy under one instruction choice.
+
+    This is the only part of the cost model that depends on the
+    instruction-selection assignment.  With ``conflict=1.0`` it is an
+    *admissible lower bound* on the copy's true issue cost (bank-conflict
+    factors only ever multiply the cost by >= 1), which is what the
+    branch-and-bound search uses to bound unassigned copies.
+    """
+    total_bytes = op.moves_bytes()  # per-trip tile bytes (iterator views excluded)
+    if instruction.single_thread:
+        # TMA: one bulk copy per trip; the copy engine streams the tile.
+        return instruction.issue_cycles + total_bytes / 128.0
+    participating = 32 if instruction.collective else program.num_threads
+    per_invocation_bytes = instruction.vector_bytes * participating
+    invocations = math.ceil(total_bytes / per_invocation_bytes)
+    # Warp schedulers issue per warp; normalise to the block.
+    warps = max(1, participating // 32)
+    return invocations * instruction.issue_cycles * conflict / max(
+        1, program.num_warps // warps
+    )
+
+
+@dataclass(frozen=True)
+class InvariantCosts:
+    """The assignment-invariant part of a program's cost (per compile).
+
+    Gemm, cast, elementwise, reduce, fill and rearrange costs depend only on
+    the thread-value solution, never on which memory instruction each copy
+    uses, so they are computed once per program and reused across every
+    candidate leaf of the instruction-selection search.
+
+    ``memory_issue_base`` collects the rearrange issue totals (rearranges
+    count as memory traffic in :meth:`AnalyticalCostModel.estimate`);
+    ``compute_issue_total`` collects everything else.  ``overlapped`` records
+    whether the program hides memory issue behind compute issue (pipelined or
+    warp-specialized), which decides how the two combine in the lower bound.
+    """
+
+    memory_issue_base: float
+    compute_issue_total: float
+    overlapped: bool
+
+    def lower_bound(self, memory_issue: float) -> float:
+        """An admissible lower bound on ``estimate().total_cycles`` given a
+        lower bound on the copy+rearrange issue total.
+
+        Follows directly from :meth:`AnalyticalCostModel.estimate`: stalls,
+        completion drain and the non-overlapped residue are all >= 0, so the
+        total is at least ``max(memory, compute)`` when the program overlaps
+        the two and at least their sum otherwise.
+        """
+        mem = self.memory_issue_base + memory_issue
+        if self.overlapped:
+            return max(mem, self.compute_issue_total)
+        return mem + self.compute_issue_total
 
 
 @dataclass
@@ -98,19 +167,16 @@ class AnalyticalCostModel:
         if instruction.single_thread:
             # TMA: one bulk copy per trip; the copy engine streams the tile.
             invocations = 1.0
-            issue = instruction.issue_cycles + total_bytes / 128.0
         else:
             participating = (
                 32 if instruction.collective else self.program.num_threads
             )
-            per_invocation_bytes = instruction.vector_bytes * participating
-            invocations = math.ceil(total_bytes / per_invocation_bytes)
-            # Warp schedulers issue per warp; normalise to the block.
-            warps = max(1, participating // 32)
-            conflict = self.conflict_factors.get(op.op_id, 1.0)
-            issue = invocations * instruction.issue_cycles * conflict / max(
-                1, self.program.num_warps // warps
+            invocations = math.ceil(
+                total_bytes / (instruction.vector_bytes * participating)
             )
+        issue = copy_issue_cycles(
+            self.program, op, instruction, self.conflict_factors.get(op.op_id, 1.0)
+        )
         return OperationCost(
             op=op,
             instruction_name=instruction.name,
@@ -180,6 +246,29 @@ class AnalyticalCostModel:
         if isinstance(op, Rearrange):
             return self._rearrange_cost(op)
         return None
+
+    def invariant_costs(self) -> InvariantCosts:
+        """Precompute the assignment-invariant issue totals (see
+        :class:`InvariantCosts`).  Requires gemm instructions and thread-value
+        layouts to be in place (i.e. tv-synthesis must have run)."""
+        memory = 0.0
+        compute = 0.0
+        for op in self.program.operations:
+            if isinstance(op, Copy):
+                continue
+            cost = self.cost_of(op)
+            if cost is None:
+                continue
+            total = cost.issue_cycles * op.trips
+            if isinstance(op, Rearrange):
+                memory += total
+            else:
+                compute += total
+        return InvariantCosts(
+            memory_issue_base=memory,
+            compute_issue_total=compute,
+            overlapped=self.program.num_stages > 1 or self.program.warp_specialized,
+        )
 
     # ------------------------------------------------------------------ #
     # Program-level pipeline model

@@ -1,4 +1,4 @@
-"""Instruction selection via DFS over the layout-propagation search tree.
+"""Instruction selection via branch-and-bound DFS over the layout search tree.
 
 When several instructions can implement a copy, Hexcute expands the choice
 into a search tree whose leaves are candidate programs (Section IV-B,
@@ -7,6 +7,32 @@ shared-memory solver then synthesizes buffer layouts for that leaf, invalid
 leaves (unsatisfiable layout constraints) are discarded, and the analytical
 cost model ranks the valid ones.  The all-scalar leaf is always valid, so
 compilation never fails for want of a layout.
+
+The search walks the tree depth-first in the same order the original flat
+enumeration did (largest copies first, best/widest instruction first within
+each copy) but exploits two factorizations to avoid touching most leaves:
+
+* **Buffer factorization.**  Shared-memory synthesis for a buffer depends
+  only on the instructions assigned to the copies touching it, so each
+  buffer's feasibility is checked as soon as its *last* touching copy is
+  assigned, and an unsatisfiable buffer prunes the entire subtree below the
+  offending prefix.  Subproblem results (both plans and failures) are
+  memoized per ``(buffer, touching-instruction tuple)`` and shared across
+  the whole search, including the greedy repair and cache replays.
+* **Incremental cost with an admissible lower bound.**  The
+  assignment-invariant operation costs (gemm/elementwise/reduce/rearrange)
+  are computed once per program; per-copy issue costs accumulate as the DFS
+  descends, unassigned copies are bounded by their cheapest (widest) menu
+  entry at a bank-conflict factor of 1.0, and any prefix whose bound cannot
+  beat the incumbent (seeded by :meth:`InstructionSelector.greedy_repair`)
+  is pruned.  The bound never exceeds the true leaf cost, so pruning never
+  changes the selected candidate.
+
+The search remains exhaustive up to ``max_candidates`` *leaf equivalents*
+(pruned subtrees count every leaf they contain), which makes the result
+bit-identical to the pre-branch-and-bound flat enumeration — kept available
+as :meth:`InstructionSelector.best_exhaustive` for equivalence tests and the
+CI regression gate.
 """
 
 from __future__ import annotations
@@ -20,25 +46,54 @@ from repro.instructions.registry import InstructionSet
 from repro.ir.graph import KernelProgram
 from repro.ir.ops import Copy
 from repro.ir.tensor import Scope, TileTensor
-from repro.layout.layout import Layout
-from repro.synthesis.cost_model import AnalyticalCostModel, CostBreakdown
+from repro.synthesis.cost_model import (
+    AnalyticalCostModel,
+    CostBreakdown,
+    InvariantCosts,
+    copy_issue_cycles,
+)
 from repro.synthesis.smem_solver import (
     CopyAccess,
     SmemPlan,
-    SmemSynthesisError,
     copy_access_for,
-    synthesize_smem_layout,
+    smem_solution_for,
 )
 from repro.synthesis.tiling import value_vector_run
 from repro.synthesis.tv_solver import TVSolution
 from repro.utils.inttuple import flatten
 
-__all__ = ["Candidate", "InstructionSelector", "SelectionError"]
-
+__all__ = ["Candidate", "InstructionSelector", "SelectionError", "SelectionStats"]
 
 class SelectionError(Exception):
     """Raised when no valid candidate program exists (should not happen:
     the scalar fallback is always valid)."""
+
+
+@dataclass
+class SelectionStats:
+    """Instrumentation of one instruction-selection search.
+
+    ``leaves_evaluated`` counts full leaf evaluations (shared-memory plan
+    assembly plus a cost-model run); ``leaves_pruned`` counts the leaf
+    equivalents inside subtrees cut by branch-and-bound, split into
+    ``infeasible_cuts``/``bound_cuts`` subtree-cut events.
+    ``subproblems_memoized`` counts shared-memory subproblem cache hits and
+    ``smem_solves`` the actual constraint-unification solves that ran.
+    """
+
+    leaves_evaluated: int = 0
+    leaves_pruned: int = 0
+    leaf_memo_hits: int = 0
+    infeasible_cuts: int = 0
+    bound_cuts: int = 0
+    subproblems_memoized: int = 0
+    smem_solves: int = 0
+
+    @property
+    def leaf_equivalents(self) -> int:
+        """Leaves accounted for by the search: evaluated, replayed from the
+        leaf memo, or pruned."""
+        return self.leaves_evaluated + self.leaf_memo_hits + self.leaves_pruned
 
 
 @dataclass
@@ -76,7 +131,12 @@ class Candidate:
 
 
 class InstructionSelector:
-    """Enumerates, validates and ranks candidate programs."""
+    """Enumerates, validates and ranks candidate programs.
+
+    Program structure that the search reuses for every leaf — the copy list,
+    the per-copy instruction menus, the copies-by-id map and the per-buffer
+    touching-copy lists — is computed once here rather than per leaf.
+    """
 
     def __init__(
         self,
@@ -96,20 +156,79 @@ class InstructionSelector:
         # baselines/ablations to emulate compilers whose layout systems fall
         # back to narrow accesses on specific tensors.
         self.copy_width_cap = copy_width_cap
-        self.candidates_explored = 0
+        self.stats = SelectionStats()
+        self.last_failed_tensor: Optional[TileTensor] = None
+
+        # --- precomputed program structure ----------------------------- #
+        self.copies: List[Copy] = program.copies()
+        self.copies_by_id: Dict[int, Copy] = {c.op_id: c for c in self.copies}
+        self._reg_tv = {}
+        for copy in self.copies:
+            reg = copy.register_operand()
+            self._reg_tv[copy.op_id] = reg.tv_layout if reg is not None else None
+        self._menus: Dict[int, List[MemoryInstruction]] = {
+            c.op_id: self._build_menu(c) for c in self.copies
+        }
+        # Search order: biggest copies first (ties keep program order); the
+        # greedy repair degrades in the opposite (cheapest-first) order.
+        self._search_order: List[Copy] = sorted(
+            self.copies, key=lambda c: -(c.moves_bytes() * c.trips)
+        )
+        self._repair_order: List[Copy] = sorted(
+            self.copies, key=lambda c: (c.moves_bytes() * c.trips)
+        )
+        self._shared: List[TileTensor] = program.shared_tensors()
+        self._touching: Dict[int, List[Copy]] = {
+            t.tensor_id: program.copies_touching(t) for t in self._shared
+        }
+        # --- memoized subproblems -------------------------------------- #
+        # (tensor_id, (instruction per touching copy)) -> SmemPlan | None
+        self._smem_cache: Dict[tuple, Optional[SmemPlan]] = {}
+        # (op_id, instruction, tensor_id) -> CopyAccess
+        self._access_cache: Dict[tuple, CopyAccess] = {}
+        # (instruction per copy) -> (Candidate | None, failed tensor | None);
+        # the greedy repair and the DFS revisit identical assignments (the
+        # incumbent's leaf in particular), which replay from here for free.
+        self._leaf_cache: Dict[tuple, tuple] = {}
+        # Assignment-invariant cost terms, computed on first use (they need
+        # the gemm instructions / TV layouts installed by tv-synthesis).
+        self._invariants: Optional[InvariantCosts] = None
+
+    @property
+    def candidates_explored(self) -> int:
+        """Leaf equivalents accounted for by the search — the same count the
+        flat enumeration reported, so cache/benchmark consumers keep their
+        semantics: pruned subtrees contribute every leaf they contain."""
+        return self.stats.leaf_equivalents
+
+    @property
+    def leaves_pruned(self) -> int:
+        return self.stats.leaves_pruned
+
+    @property
+    def subproblems_memoized(self) -> int:
+        return self.stats.subproblems_memoized
 
     # ------------------------------------------------------------------ #
     # Per-copy candidate instructions
     # ------------------------------------------------------------------ #
     def candidate_instructions(self, copy: Copy) -> List[MemoryInstruction]:
-        """Valid instructions for one copy, best (widest) first."""
+        """Valid instructions for one copy, best (widest) first.
+
+        Menus for the program's own copies are computed once in ``__init__``
+        and returned from the cache thereafter."""
+        menu = self._menus.get(copy.op_id)
+        if menu is None:
+            menu = self._build_menu(copy)
+        return list(menu)
+
+    def _build_menu(self, copy: Copy) -> List[MemoryInstruction]:
         cap = self.copy_width_cap(copy) if self.copy_width_cap is not None else None
         menu = self.instructions.copies(
             copy.src.scope, copy.dst.scope, max_vector_bytes=cap
         )
         reg = copy.register_operand()
         reg_tv = reg.tv_layout if reg is not None else None
-        dtype = copy.src.dtype
         valid: List[MemoryInstruction] = []
         for instr in menu:
             if instr.collective:
@@ -199,17 +318,16 @@ class InstructionSelector:
         present search would reject).  Returns ``None`` when the program
         shape, instruction set or validity rules no longer match — callers
         fall back to the full search."""
-        copies = self.program.copies()
-        if len(named) != len(copies):
+        if len(named) != len(self.copies):
             return None
         assignment: Dict[int, MemoryInstruction] = {}
-        for copy, (name, direction, vector_bytes) in zip(copies, named):
+        for copy, (name, direction, vector_bytes) in zip(self.copies, named):
             if copy.direction != direction:
                 return None
             instr = next(
                 (
                     i
-                    for i in self.candidate_instructions(copy)
+                    for i in self._menus[copy.op_id]
                     if i.name == name
                     and i.direction == direction
                     and i.vector_bytes == vector_bytes
@@ -222,15 +340,53 @@ class InstructionSelector:
         return assignment
 
     # ------------------------------------------------------------------ #
-    # Search
+    # Memoized shared-memory subproblems
+    # ------------------------------------------------------------------ #
+    def _access_for(
+        self, copy: Copy, instr: MemoryInstruction, tensor: TileTensor
+    ) -> CopyAccess:
+        key = (copy.op_id, instr, tensor.tensor_id)
+        access = self._access_cache.get(key)
+        if access is None:
+            access = copy_access_for(copy, instr, tensor, self._reg_tv[copy.op_id])
+            self._access_cache[key] = access
+        return access
+
+    def _plan_for(
+        self, tensor: TileTensor, assignment: Dict[int, MemoryInstruction]
+    ) -> Optional[SmemPlan]:
+        """The synthesized (or memoized) plan for one buffer under the
+        instructions currently assigned to its touching copies, or ``None``
+        when the constraints do not unify.  Failures are memoized too, so an
+        infeasible combination is proven exactly once."""
+        touching = self._touching[tensor.tensor_id]
+        key = (tensor.tensor_id, tuple(assignment[c.op_id] for c in touching))
+        if key in self._smem_cache:
+            self.stats.subproblems_memoized += 1
+            return self._smem_cache[key]
+        accesses = [self._access_for(c, assignment[c.op_id], tensor) for c in touching]
+        solution, hit = smem_solution_for(tensor, accesses)
+        if hit:
+            # The process-wide structural cache already knew this subproblem
+            # (e.g. from an equivalent compile earlier in an autotune sweep).
+            self.stats.subproblems_memoized += 1
+        else:
+            self.stats.smem_solves += 1
+        plan: Optional[SmemPlan] = (
+            None if solution.failure is not None else solution.as_plan(tensor, accesses)
+        )
+        self._smem_cache[key] = plan
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # Leaf evaluation
     # ------------------------------------------------------------------ #
     def enumerate_assignments(self) -> Iterator[Dict[int, MemoryInstruction]]:
-        """DFS over per-copy choices, biggest copies first, best-first within
-        each copy, capped at ``max_candidates`` leaves."""
-        copies = sorted(
-            self.program.copies(), key=lambda c: -(c.moves_bytes() * c.trips)
-        )
-        menus = [self.candidate_instructions(copy) for copy in copies]
+        """Flat enumeration over per-copy choices, biggest copies first,
+        best-first within each copy, capped at ``max_candidates`` leaves —
+        the window the branch-and-bound search covers via pruning."""
+        copies = self._search_order
+        menus = [self._menus[copy.op_id] for copy in copies]
         count = 0
         for combo in itertools.product(*menus):
             if count >= self.max_candidates:
@@ -244,49 +400,69 @@ class InstructionSelector:
         Returns ``None`` for invalid leaves (unsatisfiable shared-memory
         constraints) and records the offending buffer in
         ``self.last_failed_tensor`` so the greedy repair can degrade the right
-        copies.
+        copies.  Buffer subproblems come from the shared memo, so repeated
+        evaluations of overlapping assignments never re-unify constraints,
+        and identical assignments replay their complete result.
         """
-        self.candidates_explored += 1
+        leaf_key = tuple(assignment[c.op_id] for c in self.copies)
+        cached = self._leaf_cache.get(leaf_key)
+        if cached is not None:
+            self.stats.leaf_memo_hits += 1
+            candidate, failed = cached
+            self.last_failed_tensor = failed
+            return candidate
+        self.stats.leaves_evaluated += 1
         self.last_failed_tensor = None
         candidate = Candidate(assignment=dict(assignment))
-        copies_by_id = {copy.op_id: copy for copy in self.program.copies()}
 
-        # Shared-memory layout synthesis per buffer.
-        for tensor in self.program.shared_tensors():
-            accesses: List[CopyAccess] = []
-            for copy in self.program.copies_touching(tensor):
-                instr = assignment[copy.op_id]
-                reg = copy.register_operand()
-                reg_tv = reg.tv_layout if reg is not None else None
-                accesses.append(copy_access_for(copy, instr, tensor, reg_tv))
-            try:
-                plan = synthesize_smem_layout(tensor, accesses)
-            except SmemSynthesisError:
+        # Shared-memory layout synthesis per buffer (memoized per subproblem).
+        for tensor in self._shared:
+            plan = self._plan_for(tensor, assignment)
+            if plan is None:
                 self.last_failed_tensor = tensor
+                self._leaf_cache[leaf_key] = (None, tensor)
                 return None
             candidate.smem_plans[tensor] = plan
-            for access in accesses:
+            for access in plan.accesses:
                 candidate.conflict_factors[access.copy.op_id] = max(
                     candidate.conflict_factors.get(access.copy.op_id, 1.0),
                     plan.conflict_factor,
                 )
 
-        # Temporarily install the assignment for the cost model.
-        previous = {}
-        for op_id, instr in assignment.items():
-            op = copies_by_id[op_id]
-            previous[op_id] = op.selected_instruction
-            op.selected_instruction = instr
-        try:
-            model = AnalyticalCostModel(
-                self.program, assignment, candidate.conflict_factors
-            )
-            candidate.cost = model.estimate()
-        finally:
-            for op_id, old in previous.items():
-                copies_by_id[op_id].selected_instruction = old
+        # The model reads the assignment directly (``instruction_choice``
+        # takes precedence over ``op.selected_instruction`` for every copy),
+        # so nothing needs to be installed on the program.
+        model = AnalyticalCostModel(
+            self.program, assignment, candidate.conflict_factors
+        )
+        candidate.cost = model.estimate()
+        self._leaf_cache[leaf_key] = (candidate, None)
         return candidate
 
+    # ------------------------------------------------------------------ #
+    # Incremental cost bound
+    # ------------------------------------------------------------------ #
+    def _invariant_costs(self) -> InvariantCosts:
+        if self._invariants is None:
+            self._invariants = AnalyticalCostModel(self.program).invariant_costs()
+        return self._invariants
+
+    def _issue_terms_for(self, order: Sequence[Copy]) -> List[List[float]]:
+        """Per-depth, per-menu-entry total issue cycles at conflict 1.0 —
+        the per-copy building blocks of the admissible lower bound."""
+        terms: List[List[float]] = []
+        for copy in order:
+            terms.append(
+                [
+                    copy_issue_cycles(self.program, copy, instr, 1.0) * copy.trips
+                    for instr in self._menus[copy.op_id]
+                ]
+            )
+        return terms
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
     def greedy_repair(self) -> Optional[Candidate]:
         """A valid candidate obtained by starting from the widest instruction
         per copy and locally degrading copies until the shared-memory layout
@@ -296,10 +472,8 @@ class InstructionSelector:
         always satisfiable, so the repair loop terminates with some valid
         candidate even when wide choices conflict (Fig. 10 c, Case 2).
         """
-        copies = sorted(
-            self.program.copies(), key=lambda c: (c.moves_bytes() * c.trips)
-        )
-        menus = {copy.op_id: self.candidate_instructions(copy) for copy in copies}
+        copies = self._repair_order
+        menus = {copy.op_id: self._menus[copy.op_id] for copy in copies}
         position = {copy.op_id: 0 for copy in copies}
         while True:
             assignment = {
@@ -311,7 +485,7 @@ class InstructionSelector:
                 return candidate
             # Degrade a copy involved in the failing buffer when known (the
             # cheaper side first), otherwise the cheapest copy overall.
-            failed = getattr(self, "last_failed_tensor", None)
+            failed = self.last_failed_tensor
             if failed is not None:
                 involved = [c for c in copies if failed in c.tensors()]
             else:
@@ -332,7 +506,108 @@ class InstructionSelector:
                     return None
 
     def best(self) -> Candidate:
-        """Pick the valid candidate with the lowest estimated latency."""
+        """Pick the valid candidate with the lowest estimated latency via
+        branch-and-bound DFS.
+
+        Exhaustive up to ``max_candidates`` leaf equivalents and guaranteed
+        to return the same candidate as :meth:`best_exhaustive`: infeasible
+        subtrees contain no valid leaves, and bound-pruned subtrees contain
+        no leaf that could *strictly* beat the incumbent.
+        """
+        best = self.greedy_repair()
+
+        order = self._search_order
+        menus = [self._menus[copy.op_id] for copy in order]
+        n = len(order)
+        # subtree[i]: leaves under a node with copies[0..i-1] assigned.
+        subtree = [1] * (n + 1)
+        for i in range(n - 1, -1, -1):
+            subtree[i] = subtree[i + 1] * len(menus[i])
+
+        # Buffers become checkable at the depth of their last touching copy.
+        pos = {copy.op_id: i for i, copy in enumerate(order)}
+        complete_at: List[List[TileTensor]] = [[] for _ in range(n)]
+        for tensor in self._shared:
+            touching = self._touching[tensor.tensor_id]
+            if touching:
+                complete_at[max(pos[c.op_id] for c in touching)].append(tensor)
+
+        invariants = self._invariant_costs()
+        terms = self._issue_terms_for(order)
+        # suffix_min[i]: cheapest possible issue total of copies i..n-1 — the
+        # unassigned-copy part of the bound, precomputed once so every DFS
+        # node sums the same floats (no incremental +=/-= drift).
+        suffix_min = [0.0] * (n + 1)
+        for i in range(n - 1, -1, -1):
+            suffix_min[i] = min(terms[i]) + suffix_min[i + 1]
+
+        budget = self.max_candidates
+        assignment: Dict[int, MemoryInstruction] = {}
+
+        def prune(depth: int, kind: str) -> None:
+            nonlocal budget
+            cut = min(subtree[depth], budget)
+            budget -= cut
+            self.stats.leaves_pruned += cut
+            if kind == "infeasible":
+                self.stats.infeasible_cuts += 1
+            else:
+                self.stats.bound_cuts += 1
+
+        def dfs(depth: int, assigned_issue: float) -> None:
+            nonlocal best, budget
+            if budget <= 0:
+                return
+            if depth == n:
+                budget -= 1
+                candidate = self.evaluate(assignment)
+                if candidate is not None and (
+                    best is None or candidate.total_cycles < best.total_cycles
+                ):
+                    best = candidate
+                return
+            copy = order[depth]
+            for choice, instr in enumerate(menus[depth]):
+                if budget <= 0:
+                    return
+                assignment[copy.op_id] = instr
+                # Buffer factorization: every buffer whose copies are now all
+                # assigned either unifies (memoized plan) or cuts the subtree.
+                feasible = True
+                for tensor in complete_at[depth]:
+                    if self._plan_for(tensor, assignment) is None:
+                        feasible = False
+                        break
+                if not feasible:
+                    prune(depth + 1, "infeasible")
+                    continue
+                prefix_issue = assigned_issue + terms[depth][choice]
+                # Prune when the bound cannot *strictly* beat the incumbent.
+                # The flat enumeration only replaces the incumbent on strict
+                # improvement, so tied subtrees are safe to cut; no epsilon —
+                # the bound must genuinely reach the incumbent.
+                if (
+                    best is not None
+                    and invariants.lower_bound(prefix_issue + suffix_min[depth + 1])
+                    >= best.total_cycles
+                ):
+                    prune(depth + 1, "bound")
+                else:
+                    dfs(depth + 1, prefix_issue)
+            del assignment[copy.op_id]
+
+        dfs(0, 0.0)
+        if best is None:
+            raise SelectionError(
+                f"no valid candidate program found for kernel {self.program.name!r}"
+            )
+        return best
+
+    def best_exhaustive(self) -> Candidate:
+        """The pre-branch-and-bound reference: flat enumeration of the first
+        ``max_candidates`` leaves, each fully evaluated.  Kept as the ground
+        truth for the equivalence test suite and the CI regression gate
+        (``bench_compile_time.py --smoke``)."""
         best = self.greedy_repair()
         for assignment in self.enumerate_assignments():
             candidate = self.evaluate(assignment)
@@ -358,8 +633,7 @@ class InstructionSelector:
 
     def apply(self, candidate: Candidate) -> None:
         """Install the chosen instructions and shared-memory layouts."""
-        copies_by_id = {copy.op_id: copy for copy in self.program.copies()}
         for op_id, instr in candidate.assignment.items():
-            copies_by_id[op_id].selected_instruction = instr
+            self.copies_by_id[op_id].selected_instruction = instr
         for plan in candidate.smem_plans.values():
             plan.apply()

@@ -39,9 +39,14 @@ __all__ = [
     "SMEM_BANK_BYTES",
     "CopyAccess",
     "SmemPlan",
+    "SmemSolution",
     "SmemSynthesisError",
     "bank_conflict_factor",
     "copy_access_for",
+    "smem_cache_info",
+    "clear_smem_cache",
+    "smem_solution_for",
+    "subproblem_key",
     "synthesize_smem_layout",
 ]
 
@@ -225,17 +230,141 @@ def check_tma_compatible(layout: Layout, element_bits: int) -> bool:
 
 
 # --------------------------------------------------------------------------- #
-# Main entry point
+# Structural subproblem cache
 # --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SmemSolution:
+    """The tensor-independent payload of one solved smem subproblem.
+
+    A subproblem is fully determined by the buffer's shape/element width and
+    the structural signatures of its accesses (instruction, alignment
+    constraint, warp coordinates, trip weights) — never by tensor identity —
+    so solutions can be shared across compiles of equivalent tile programs
+    (e.g. the same tile config at different problem shapes in an autotuning
+    sweep).  ``failure`` carries the reason when the constraints do not
+    unify; failures are cached too, so an infeasible combination is proven
+    exactly once per process.
+    """
+
+    base_layout: Optional[Layout]
+    swizzle: Optional[Swizzle]
+    conflict_factor: float
+    failure: Optional[str] = None
+
+    def as_plan(self, tensor: TileTensor, accesses: Sequence[CopyAccess]) -> SmemPlan:
+        if self.failure is not None:
+            raise SmemSynthesisError(f"shared tensor {tensor.name!r}: {self.failure}")
+        return SmemPlan(
+            tensor, self.base_layout, self.swizzle, self.conflict_factor, list(accesses)
+        )
+
+
+def _access_signature(access: CopyAccess) -> tuple:
+    return (
+        access.instruction,
+        access.contiguous_dim,
+        access.vector_elems,
+        tuple(access.thread_coords),
+        access.copy.trips,
+    )
+
+
+def subproblem_key(tensor: TileTensor, accesses: Sequence[CopyAccess]) -> tuple:
+    """The canonical structural key of one smem synthesis subproblem."""
+    return (
+        tuple(tensor.shape),
+        tensor.dtype.bits,
+        tuple(_access_signature(access) for access in accesses),
+    )
+
+
+# Bounded process-wide cache: structural key -> SmemSolution.  Eviction is
+# FIFO (dicts preserve insertion order), which is plenty for the compiler's
+# small, highly repetitive working set.
+_SOLUTION_CACHE: Dict[tuple, SmemSolution] = {}
+_SOLUTION_CACHE_MAX = 4096
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
+
+def smem_cache_info() -> Tuple[int, int, int]:
+    """``(hits, misses, size)`` of the process-wide smem subproblem cache."""
+    return _CACHE_HITS, _CACHE_MISSES, len(_SOLUTION_CACHE)
+
+
+def clear_smem_cache() -> None:
+    global _CACHE_HITS, _CACHE_MISSES
+    _SOLUTION_CACHE.clear()
+    _CACHE_HITS = 0
+    _CACHE_MISSES = 0
+
+
+# --------------------------------------------------------------------------- #
+# Main entry points
+# --------------------------------------------------------------------------- #
+def smem_solution_for(
+    tensor: TileTensor,
+    accesses: Sequence[CopyAccess],
+) -> Tuple[SmemSolution, bool]:
+    """The (possibly memoized) solution of one subproblem plus whether the
+    structural cache already held it.
+
+    Never raises: infeasible subproblems come back as a solution whose
+    ``failure`` is set.  The hit flag is reported per call, so callers can
+    attribute their own solve/hit statistics correctly even when other
+    threads use the cache concurrently.
+    """
+    global _CACHE_HITS, _CACHE_MISSES
+    key = subproblem_key(tensor, accesses)
+    cached = _SOLUTION_CACHE.get(key)
+    if cached is not None:
+        _CACHE_HITS += 1
+        return cached, True
+    _CACHE_MISSES += 1
+    try:
+        solution = _solve_subproblem(tensor, accesses)
+    except SmemSynthesisError as exc:
+        # Cache the failure under its tensor-independent reason.
+        reason = str(exc)
+        prefix = f"shared tensor {tensor.name!r}: "
+        if reason.startswith(prefix):
+            reason = reason[len(prefix):]
+        solution = SmemSolution(None, None, 0.0, failure=reason)
+    _remember(key, solution)
+    return solution, False
+
+
 def synthesize_smem_layout(
     tensor: TileTensor,
     accesses: Sequence[CopyAccess],
 ) -> SmemPlan:
-    """Unify the constraints of all accesses and pick the best swizzle."""
+    """Unify the constraints of all accesses and pick the best swizzle.
+
+    Consults the structural subproblem cache first: equivalent subproblems
+    (same buffer shape/dtype, same access signatures) reuse the solved
+    layout/swizzle and re-raise memoized failures without re-unifying.
+    """
+    solution, _hit = smem_solution_for(tensor, accesses)
+    return solution.as_plan(tensor, accesses)
+
+
+def _remember(key: tuple, solution: SmemSolution) -> None:
+    if len(_SOLUTION_CACHE) >= _SOLUTION_CACHE_MAX:
+        try:
+            # pop(..., None) so two parallel compile workers evicting the
+            # same oldest key cannot race into a KeyError.
+            _SOLUTION_CACHE.pop(next(iter(_SOLUTION_CACHE)), None)
+        except (StopIteration, RuntimeError):  # emptied/resized concurrently
+            pass
+    _SOLUTION_CACHE[key] = solution
+
+
+def _solve_subproblem(
+    tensor: TileTensor, accesses: Sequence[CopyAccess]
+) -> SmemSolution:
     if not accesses:
         # An unused buffer: any compact layout works.
-        base = Layout(tensor.shape)
-        return SmemPlan(tensor, base, Swizzle(0, 0, 0), 1.0, [])
+        return SmemSolution(Layout(tensor.shape), Swizzle(0, 0, 0), 1.0)
 
     constraints = [access.constraint(tensor.shape) for access in accesses]
     try:
@@ -271,7 +400,7 @@ def synthesize_smem_layout(
         if factor < best_factor - 1e-9:
             best_factor = factor
             best_swizzle = swizzle
-    return SmemPlan(tensor, base, best_swizzle, best_factor, list(accesses))
+    return SmemSolution(base, best_swizzle, best_factor)
 
 
 def _total_conflicts(

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.instructions.registry import InstructionSet, instruction_set
 from repro.ir.graph import KernelProgram
+from repro.sim.arch import DEFAULT_ARCH, get_arch
 from repro.ir.ops import Cast, Copy, Elementwise, Fill, Gemm, Operation, Rearrange, Reduce
 from repro.ir.tensor import Scope, TileTensor
 from repro.layout.layout import row_major
@@ -59,7 +60,11 @@ class ThreadValueSolver:
         max_vector_bytes: int = 16,
     ):
         self.program = program
-        self.instructions = instructions or instruction_set(80)
+        # Default to the canonical architecture shared by every compile entry
+        # point (repro.sim.arch.DEFAULT_ARCH) rather than a magic SM number.
+        self.instructions = instructions or instruction_set(
+            get_arch(DEFAULT_ARCH).sm_arch
+        )
         self.max_vector_bytes = max_vector_bytes
         self.solution = TVSolution()
 
@@ -158,12 +163,14 @@ class ThreadValueSolver:
             self._propagate(component)
 
     def _unsolved_in(self, component: List[Operation]) -> List[TileTensor]:
-        unsolved = []
+        # Ordered-set pattern (dict preserves insertion order): the old list
+        # membership scan made this O(n^2) in the component's tensor count.
+        unsolved: Dict[int, TileTensor] = {}
         for op in component:
             for tensor in op.register_tensors():
-                if self._known(tensor) is None and tensor not in unsolved:
-                    unsolved.append(tensor)
-        return unsolved
+                if tensor.tensor_id not in unsolved and self._known(tensor) is None:
+                    unsolved[tensor.tensor_id] = tensor
+        return list(unsolved.values())
 
     # ------------------------------------------------------------------ #
     # Anchors

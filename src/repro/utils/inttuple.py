@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Iterable, Tuple, Union
 
+from repro.utils.memo import memoized
+
 IntTuple = Union[int, Tuple["IntTuple", ...]]
 
 __all__ = [
@@ -170,8 +172,12 @@ def shape_div(a: IntTuple, b: IntTuple) -> IntTuple:
     raise ValueError(f"shape_div: {a} and {b} are indivisible")
 
 
+@memoized(maxsize=8192)
 def prefix_product(shape: IntTuple, init: int = 1) -> IntTuple:
     """Exclusive prefix products over the leaves, preserving structure.
+
+    Memoized: shapes are immutable and the compiler re-derives the strides
+    of the same handful of shapes throughout layout synthesis.
 
     This yields the column-major ("LayoutLeft") strides for ``shape``.
 
@@ -194,6 +200,7 @@ def _prefix_product_impl(shape: IntTuple, current: int) -> tuple[IntTuple, int]:
     return tuple(items), current
 
 
+@memoized(maxsize=65536)
 def crd2idx(coord: IntTuple, shape: IntTuple, stride: IntTuple | None = None) -> int:
     """Map a (hierarchical) coordinate to a linear index.
 
@@ -202,6 +209,10 @@ def crd2idx(coord: IntTuple, shape: IntTuple, stride: IntTuple | None = None) ->
     sub-coordinates column-major).  Without ``stride`` the canonical
     column-major strides of ``shape`` are used, i.e. the colexicographic
     linearisation.
+
+    Memoized: layout evaluation (`Layout.__call__`) funnels through this
+    function, and the bank-conflict analysis evaluates the same coordinates
+    against the same base layout once per candidate swizzle.
     """
     if stride is None:
         stride = prefix_product(shape)
@@ -231,8 +242,14 @@ def _crd2idx(coord: IntTuple, shape: IntTuple, stride: IntTuple) -> int:
     return result
 
 
+@memoized(maxsize=65536)
 def idx2crd(idx: int, shape: IntTuple) -> IntTuple:
-    """Map a linear (colexicographic) index to a hierarchical coordinate."""
+    """Map a linear (colexicographic) index to a hierarchical coordinate.
+
+    Memoized for the same reason as :func:`crd2idx` — thread-coordinate
+    enumeration (``TVLayout.coords``) revisits the same (index, shape)
+    pairs for every candidate instruction assignment.
+    """
     crd, _ = _idx2crd_impl(idx, shape)
     return crd
 

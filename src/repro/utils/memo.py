@@ -1,0 +1,60 @@
+"""Bounded memoization for the pure layout-algebra hot paths.
+
+Layouts (and the IntTuples they are built from) are immutable, structurally
+hashable values, so the algebraic operations on them — ``coalesce``,
+``composition``, ``complement``, ``right_inverse``, ``crd2idx``,
+``prefix_product`` — are pure functions of their arguments.  The compiler
+calls them with a small working set of distinct arguments but an enormous
+number of repeats (every candidate leaf of the instruction-selection search
+re-derives the same composites), which makes them ideal memoization targets.
+
+:func:`memoized` wraps a function in a bounded :func:`functools.lru_cache`
+and records it in a process-wide registry so that benchmarks and tests can
+inspect hit rates (:func:`cache_stats`) or reset state (:func:`clear_caches`)
+without importing every cached module individually.
+
+The caches are *value* caches: results may be shared between callers, which
+is safe precisely because layouts are never mutated after construction.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Dict
+
+__all__ = ["memoized", "cache_stats", "clear_caches", "total_cache_hits"]
+
+# name -> lru_cache-wrapped function
+_REGISTRY: Dict[str, Callable] = {}
+
+
+def memoized(maxsize: int = 8192, name: str | None = None) -> Callable:
+    """Decorator: memoize a pure function behind a bounded LRU cache.
+
+    All arguments must be hashable.  Exceptions are not cached (an argument
+    combination that raises is recomputed on every call), matching
+    :func:`functools.lru_cache` semantics.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        wrapped = functools.lru_cache(maxsize=maxsize)(fn)
+        _REGISTRY[name or f"{fn.__module__}.{fn.__qualname__}"] = wrapped
+        return wrapped
+
+    return decorate
+
+
+def cache_stats() -> Dict[str, "functools._CacheInfo"]:
+    """Per-function :func:`functools.lru_cache` statistics, keyed by name."""
+    return {name: fn.cache_info() for name, fn in _REGISTRY.items()}
+
+
+def total_cache_hits() -> int:
+    """Sum of cache hits across every registered memoized function."""
+    return sum(fn.cache_info().hits for fn in _REGISTRY.values())
+
+
+def clear_caches() -> None:
+    """Drop every registered cache (useful for isolated measurements)."""
+    for fn in _REGISTRY.values():
+        fn.cache_clear()
