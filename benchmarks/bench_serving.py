@@ -11,10 +11,12 @@ bucket through ``repro.pipeline.compile_many`` with a cold compile cache
 versus a warm one (warm startup only verifies fingerprints; it must be at
 least 2x faster — it is orders of magnitude faster in practice).
 
-Two determinism guards make this CI-able (``--smoke``): each sweep cell is
-simulated twice with identically seeded inputs and must produce bit-equal
-``ServeReport`` digests, and the regenerated workload itself must be
-identical.  Any violation exits nonzero.
+Three guards make this CI-able (``--smoke``): each sweep cell is simulated
+twice with identically seeded inputs and must produce bit-equal
+``ServeReport`` digests, the regenerated workload itself must be
+identical, and a **memory-pressure** run against a deliberately tight KV
+block budget must report preemptions > 0 with KV utilization <= 1.0 and a
+bit-equal digest on a second run.  Any violation exits nonzero.
 
 Run with:  PYTHONPATH=src python benchmarks/bench_serving.py [--smoke]
 """
@@ -35,6 +37,8 @@ from repro.serving import (
     format_reports,
     make_workload,
 )
+from repro.serving.memory import blocks_for_tokens
+from repro.sim.arch import DEFAULT_EVAL_ARCH
 
 MODELS = {
     "deepseek": DEEPSEEK_R1_AWQ,
@@ -50,14 +54,15 @@ def parse_args(argv=None) -> argparse.Namespace:
         action="store_true",
         help="small CI workload: fewer requests, smaller batches, same checks",
     )
-    parser.add_argument("--arch", default="h100", help="a100 or h100")
+    parser.add_argument("--arch", default=DEFAULT_EVAL_ARCH, help="a100 or h100")
     parser.add_argument(
         "--models", default="deepseek,jamba,qwen", help=f"comma list of {sorted(MODELS)}"
     )
     parser.add_argument("--backends", default="hexcute,baseline")
-    parser.add_argument("--schedulers", default="fcfs,slo,max-batch")
+    parser.add_argument("--schedulers", default="fcfs,slo,max-batch,memory-aware")
     parser.add_argument(
-        "--workload", default="steady", help="steady, bursty, or heavy-tail"
+        "--workload", default="steady",
+        help="steady, bursty, heavy-tail, or memory-pressure",
     )
     parser.add_argument("--requests", type=int, default=None, help="requests per cell")
     parser.add_argument("--rate-rps", type=float, default=None, help="arrival rate")
@@ -68,9 +73,69 @@ def parse_args(argv=None) -> argparse.Namespace:
 
 def build_workload(args, num_requests: int) -> List:
     kwargs = {"num_requests": num_requests, "seed": args.seed}
-    if args.workload in ("steady", "heavy-tail") and args.rate_rps is not None:
+    if args.workload in ("steady", "heavy-tail", "memory-pressure") and args.rate_rps is not None:
         kwargs["rate_rps"] = args.rate_rps
     return make_workload(args.workload, **kwargs)
+
+
+def pressure_workload(num_requests: int, seed: int) -> List:
+    """The KV-pressure traffic of the smoke check: near-simultaneous
+    arrivals, short prompts (cheap admission packs the batch) and long
+    outputs (every running request keeps growing its block footprint)."""
+    return make_workload(
+        "memory-pressure",
+        num_requests=num_requests,
+        rate_rps=2000.0,
+        mean_prompt_tokens=16,
+        mean_output_tokens=96,
+        max_prompt_tokens=64,
+        max_output_tokens=192,
+        seed=seed,
+    )
+
+
+def run_memory_pressure_check(args, configs, step_model, num_requests: int, failures: List[str]):
+    """Constrained-KV run: preemptions must occur, utilization must stay
+    within the pool, and two identically seeded runs must be bit-equal."""
+    config = configs[0]
+    workload = pressure_workload(num_requests, args.seed)
+    # A budget about twice the largest single-request footprint: every
+    # request is individually feasible, but concurrent growth is not.
+    budget = 2 * max(
+        blocks_for_tokens(r.prompt_tokens + r.output_tokens) for r in workload
+    )
+    reports = []
+    for scheduler in ("fcfs", "memory-aware"):
+        def run():
+            sim = ServingSimulator(
+                config,
+                backend="hexcute",
+                scheduler=scheduler,
+                arch=args.arch,
+                max_batch_size=8,
+                kv_budget_blocks=budget,
+                step_model=step_model,
+            )
+            return sim.simulate(workload, workload="memory-pressure")
+
+        report = run()
+        if report.digest() != run().digest():
+            failures.append(f"nondeterministic memory-pressure serve: {report.label()}")
+        if report.preemptions <= 0:
+            failures.append(
+                f"memory-pressure run produced no preemptions ({report.label()}, "
+                f"budget {budget} blocks)"
+            )
+        if not 0.0 < report.kv_peak_utilization <= 1.0:
+            failures.append(
+                f"KV peak utilization out of range: {report.kv_peak_utilization} "
+                f"({report.label()})"
+            )
+        if report.num_requests != len(workload):
+            failures.append(f"memory-pressure run lost requests: {report.label()}")
+        reports.append(report)
+        print(report.summary())
+    return reports
 
 
 def main(argv=None) -> int:
@@ -142,6 +207,21 @@ def main(argv=None) -> int:
         format_reports(
             f"Serving: {args.workload} x{num_requests}, max batch {max_batch} ({args.arch})",
             reports,
+        )
+    )
+
+    # ------------------------------------------------------------------ #
+    # KV memory pressure: preemptions must fire, deterministically.
+    # ------------------------------------------------------------------ #
+    print()
+    pressure_reports = run_memory_pressure_check(
+        args, configs, warm_model, num_requests, failures
+    )
+    print()
+    print(
+        format_reports(
+            f"Memory pressure: tight KV budget, max batch 8 ({args.arch})",
+            pressure_reports,
         )
     )
 

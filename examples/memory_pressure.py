@@ -1,0 +1,93 @@
+"""Serve KV-pressure traffic: block budgets, preemption and recompute.
+
+PR 2's simulator admitted requests against a slot count only; this walk
+shows the regime continuous batching actually exists for — the KV-cache
+block budget, not the batch size, deciding who runs.  A tiny block pool
+(about twice the largest single-request footprint) is served twice, under
+plain FCFS admission and under the memory-aware policy (smallest block
+footprint first, aging escape), and the reports surface what the
+slot-count simulator could never show: preemption counts, KV utilization
+and the throughput cost of recompute.
+
+With the budget left at its default (`kv_budget_blocks=None`) the
+simulator derives the replica's real capacity — HBM minus the sharded
+weights — and this workload would not come close to filling it; the
+constrained pool is the point.
+
+Run with:  PYTHONPATH=src python examples/memory_pressure.py
+"""
+
+from repro.e2e import JAMBA_MINI
+from repro.pipeline import CompileCache
+from repro.serving import (
+    ServingSimulator,
+    StepLatencyModel,
+    format_reports,
+    kv_budget_blocks,
+    make_workload,
+)
+from repro.serving.memory import blocks_for_tokens
+
+
+def main():
+    cache = CompileCache(max_entries=512)
+    step_model = StepLatencyModel(arch="h100", buckets=(1, 2, 4, 8), cache=cache)
+    stats = step_model.precompile(JAMBA_MINI)
+    print(
+        f"precompiled {stats.compiled} kernels for {stats.requests} tile programs "
+        f"in {stats.seconds:.1f} s ({stats.already_cached} already cached)"
+    )
+
+    # Short prompts (cheap admission packs the batch) and long outputs
+    # (every running request keeps growing its KV footprint).
+    workload = make_workload(
+        "memory-pressure",
+        num_requests=24,
+        rate_rps=2000.0,
+        mean_prompt_tokens=16,
+        mean_output_tokens=96,
+        max_prompt_tokens=64,
+        max_output_tokens=192,
+        seed=7,
+    )
+    largest = max(blocks_for_tokens(r.prompt_tokens + r.output_tokens) for r in workload)
+    budget = 2 * largest
+    derived = kv_budget_blocks(JAMBA_MINI, "h100")
+    print(
+        f"block budget: {budget} blocks (2x the largest request's {largest}; the "
+        f"replica's real H100 budget would be {derived} blocks — no pressure at all)"
+    )
+
+    reports = []
+    for scheduler in ("fcfs", "memory-aware"):
+        sim = ServingSimulator(
+            JAMBA_MINI,
+            backend="hexcute",
+            scheduler=scheduler,
+            arch="h100",
+            max_batch_size=8,
+            kv_budget_blocks=budget,
+            step_model=step_model,
+        )
+        report = sim.simulate(workload, workload="memory-pressure")
+        reports.append(report)
+        print(report.summary())
+
+    print()
+    print(format_reports("Jamba-mini-1.7, KV pressure, max batch 8", reports))
+    print()
+    fcfs, aware = reports
+    print(
+        f"fcfs admitted head-of-line (batch {fcfs.mean_batch_size:.1f}, "
+        f"{fcfs.preemptions} preemptions); memory-aware packed smallest-first "
+        f"(batch {aware.mean_batch_size:.1f}, {aware.preemptions} preemptions). "
+        "Tighter packing runs closer to the budget, so it preempts more — under "
+        "recompute-on-readmit every preemption re-pays the prompt prefill and "
+        "re-decodes, which is why occupancy and throughput move in opposite "
+        "directions here.  The policy trade-off is only visible because blocks, "
+        "not slots, are the binding constraint."
+    )
+
+
+if __name__ == "__main__":
+    main()

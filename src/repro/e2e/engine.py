@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-from repro.sim.arch import get_arch
+from repro.sim.arch import DEFAULT_EVAL_ARCH, get_arch
 
 __all__ = ["ModelConfig", "DecodeResult", "DEEPSEEK_R1_AWQ", "JAMBA_MINI", "QWEN3_32B", "decode_latency"]
 
@@ -110,7 +110,7 @@ def decode_latency(
     backend: str = "hexcute",
     batch_size: int = 32,
     output_tokens: int = 100,
-    arch="h100",
+    arch=DEFAULT_EVAL_ARCH,
     parallel: bool = True,
 ) -> DecodeResult:
     """Latency of a full decode of ``output_tokens`` tokens.

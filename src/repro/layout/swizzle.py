@@ -116,12 +116,22 @@ def candidate_swizzles(element_bits: int, row_bytes: int) -> list[Swizzle]:
     # The base covers one 16-byte vector worth of elements (128-bit accesses).
     vector_elems = max(1, 16 // element_bytes)
     base = max(0, vector_elems.bit_length() - 1)
+    span_limit_bytes = max(row_bytes, 16) * 8 if row_bytes else None
     for bits in (1, 2, 3):
-        span_bytes = (1 << (base + bits)) * element_bytes * (1 << bits)
-        if row_bytes and span_bytes > max(row_bytes, 16) * 8:
-            continue
-        candidates.append(Swizzle(bits, base, bits))
-        candidates.append(Swizzle(bits, base, 3))
+        for shift in (bits, 3):
+            if shift < bits:
+                continue
+            candidate = Swizzle(bits, base, shift)
+            # The span must come from *this* candidate's period: a
+            # Swizzle(bits, base, 3) permutes within 2**(base+3+bits)
+            # elements, a wider window than the shift==bits form at the
+            # same bits — filtering both on the shift==bits span used to
+            # let wide-window candidates through on buffers too small for
+            # their period to make sense.
+            span_bytes = candidate.period() * element_bytes
+            if span_limit_bytes is not None and span_bytes > span_limit_bytes:
+                continue
+            candidates.append(candidate)
     # Deduplicate while preserving order.
     seen = set()
     unique = []

@@ -30,6 +30,7 @@ import json
 import os
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -222,6 +223,12 @@ class CompileCache:
     enables write-through persistence — entries are loaded on construction
     and rewritten on every put, so a later process starts warm (its hits
     replay the stored assignments instead of searching).
+
+    A single compile writes through immediately, but rewriting the whole
+    store once per insertion is O(n²) disk I/O under a ``compile_many``
+    fan-out — so batch drivers wrap their puts in :meth:`deferred_writes`,
+    which marks the store dirty instead of writing and :meth:`flush`\\ es
+    once on exit.  ``flush()`` is idempotent and a no-op when clean.
     """
 
     def __init__(self, max_entries: int = 256, disk_path: Optional[str] = None):
@@ -234,6 +241,9 @@ class CompileCache:
         # Separate lock for file writes so disk I/O never blocks get/put.
         self._disk_lock = threading.Lock()
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._dirty = False
+        self._defer_depth = 0
+        self.disk_writes = 0
         if disk_path is not None and os.path.exists(disk_path):
             self.load_disk()
 
@@ -269,14 +279,51 @@ class CompileCache:
             self._entries[key] = entry
             self._entries.move_to_end(key)
             self.stats.puts += 1
+            self._dirty = True
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+            deferred = self._defer_depth > 0
         # Write-through happens outside the lock: save_disk snapshots the
         # entries under the lock but performs file I/O without it, so
-        # concurrent compiles are not serialized behind disk writes.
-        if self.disk_path is not None:
+        # concurrent compiles are not serialized behind disk writes.  Under
+        # deferred_writes() the store is only marked dirty; the driver
+        # flushes once after its batch.
+        if self.disk_path is not None and not deferred:
             self.save_disk()
+
+    @contextmanager
+    def deferred_writes(self):
+        """Batch scope: puts mark the store dirty instead of rewriting it;
+        one flush runs on exit.  Re-entrant (inner scopes defer to the
+        outermost flush); a no-op for caches without a disk store.
+
+        The deferral is deliberately cache-wide, not per-thread: a batch's
+        puts land on thread-pool workers, so a thread-local depth would
+        defeat the whole mechanism.  A concurrent single compile on
+        another thread is therefore folded into the batch's flush instead
+        of writing through — its entry persists at the same moment the
+        batch's do."""
+        with self._lock:
+            self._defer_depth += 1
+        try:
+            yield self
+        finally:
+            with self._lock:
+                self._defer_depth -= 1
+                outermost = self._defer_depth == 0
+            if outermost:
+                self.flush()
+
+    def flush(self) -> bool:
+        """Write the store to disk if it has unsaved puts; True if written."""
+        if self.disk_path is None:
+            return False
+        with self._lock:
+            if not self._dirty:
+                return False
+        self.save_disk()
+        return True
 
     def note_replay(self) -> None:
         with self._lock:
@@ -308,9 +355,23 @@ class CompileCache:
                         key: entry.to_json() for key, entry in self._entries.items()
                     },
                 }
-            with open(tmp_path, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, indent=0)
-            os.replace(tmp_path, path)
+                # Cleared at snapshot time: a put racing past this point
+                # re-marks dirty and triggers its own write.
+                if path == self.disk_path:
+                    self._dirty = False
+            try:
+                with open(tmp_path, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, indent=0)
+                os.replace(tmp_path, path)
+            except BaseException:
+                # The snapshot never reached disk: re-mark dirty so a retry
+                # flush() does not silently no-op on a "clean" cache.
+                if path == self.disk_path:
+                    with self._lock:
+                        self._dirty = True
+                raise
+            with self._lock:
+                self.disk_writes += 1
         return path
 
     def load_disk(self, path: Optional[str] = None) -> int:

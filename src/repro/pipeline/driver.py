@@ -165,6 +165,12 @@ def compile_many(
     ``return_errors=True``, a failing compile yields its exception in the
     result list instead of raising — the autotuner uses this to record *why*
     a tile candidate was infeasible.
+
+    Disk-backed caches are flushed **once** for the whole batch: per-put
+    write-through would rewrite the entire JSON store per compiled program
+    (O(n²) disk I/O across a fan-out), so the driver wraps the batch in
+    :meth:`CompileCache.deferred_writes` — single ``compile_program`` calls
+    keep their immediate write-through semantics.
     """
     opts = _build_options(options, option_kwargs)
     cache = cache if cache is not None else default_cache()
@@ -172,6 +178,19 @@ def compile_many(
     if not requests:
         return []
 
+    with cache.deferred_writes():
+        return _compile_many_grouped(
+            requests, opts, cache, max_workers, return_errors
+        )
+
+
+def _compile_many_grouped(
+    requests: List[CompileRequest],
+    opts: CompileOptions,
+    cache: CompileCache,
+    max_workers: Optional[int],
+    return_errors: bool,
+) -> List[object]:
     # Group by fingerprint so concurrent workers never race to compile the
     # same program; uncacheable requests each form their own group.
     groups: Dict[object, List[int]] = {}

@@ -5,23 +5,41 @@ traffic-level system (the vLLM-integration story of Fig. 13, at serving
 scale): seeded workload generators feed a deterministic discrete-event
 engine whose decode-step latencies come from a memoized, batch-bucketed
 :class:`StepLatencyModel` that precompiles its buckets through
-``repro.pipeline.compile_many``.
+``repro.pipeline.compile_many``, and whose admissions are bounded by a
+vLLM-style KV-cache block budget.
 
 * :mod:`repro.serving.workload` — ``Request``/``RequestQueue`` and the
-  steady / bursty / heavy-tail generators;
-* :mod:`repro.serving.scheduler` — FCFS, SLO-aware (EDF) and max-batch
-  continuous-batching policies;
+  steady / bursty / heavy-tail / memory-pressure generators;
+* :mod:`repro.serving.memory` — the KV-cache memory model: per-replica
+  block budgets (HBM minus weights), paged block accounting
+  (``KvBlockManager``) and the read-only ``KvMemoryView`` schedulers see;
+* :mod:`repro.serving.scheduler` — FCFS, SLO-aware (EDF), max-batch and
+  memory-aware continuous-batching policies, each with a
+  ``preempt_order`` hook for KV-pressure eviction;
 * :mod:`repro.serving.step_model` — the (config, backend, batch) -> step
   latency provider shared with ``e2e.decode_latency``;
-* :mod:`repro.serving.simulator` — the discrete-event engine;
-* :mod:`repro.serving.report` — percentiles, SLO attainment and the
-  bit-exact ``ServeReport`` digest the CI determinism check relies on.
+* :mod:`repro.serving.simulator` — the discrete-event engine (admission,
+  block growth, preemption with recompute-on-readmit);
+* :mod:`repro.serving.report` — percentiles, SLO attainment, preemption /
+  KV-utilization counters and the bit-exact ``ServeReport`` digest the CI
+  determinism check relies on.
 """
 
+from repro.serving.memory import (
+    DEFAULT_HBM_UTILIZATION,
+    DEFAULT_KV_BLOCK_TOKENS,
+    KvBlockManager,
+    KvMemoryView,
+    kv_budget_blocks,
+    kv_bytes_per_token,
+    weight_bytes,
+)
 from repro.serving.report import RequestMetrics, ServeReport, format_reports, percentile
 from repro.serving.scheduler import (
     FcfsScheduler,
     MaxBatchScheduler,
+    MemoryAwareScheduler,
+    RunningInfo,
     SCHEDULERS,
     Scheduler,
     SloScheduler,
@@ -42,17 +60,24 @@ from repro.serving.workload import (
     bursty_workload,
     heavy_tail_workload,
     make_workload,
+    memory_pressure_workload,
     steady_workload,
 )
 
 __all__ = [
     "DEFAULT_BATCH_BUCKETS",
+    "DEFAULT_HBM_UTILIZATION",
+    "DEFAULT_KV_BLOCK_TOKENS",
     "FcfsScheduler",
+    "KvBlockManager",
+    "KvMemoryView",
     "MaxBatchScheduler",
+    "MemoryAwareScheduler",
     "PrecompileStats",
     "Request",
     "RequestMetrics",
     "RequestQueue",
+    "RunningInfo",
     "SCHEDULERS",
     "Scheduler",
     "ServeReport",
@@ -64,10 +89,14 @@ __all__ = [
     "format_reports",
     "get_scheduler",
     "heavy_tail_workload",
+    "kv_budget_blocks",
+    "kv_bytes_per_token",
     "make_workload",
+    "memory_pressure_workload",
     "operator_plan",
     "percentile",
     "shared_step_model",
     "simulate",
     "steady_workload",
+    "weight_bytes",
 ]

@@ -105,6 +105,15 @@ class ServeReport:
     mean_queue_depth: float
     max_queue_depth: int
     requests: List[RequestMetrics] = field(default_factory=list, repr=False)
+    # KV-cache memory model (zeros when the accounting is disabled).
+    # Deliberately *not* part of digest(): the digest hashes the per-request
+    # trace, which preemption already perturbs — so a run that never hits
+    # the budget stays bit-identical to one with the model disabled.
+    preemptions: int = 0
+    kv_block_tokens: int = 0
+    kv_total_blocks: int = 0
+    kv_peak_utilization: float = 0.0
+    mean_kv_utilization: float = 0.0
 
     # ------------------------------------------------------------------ #
     @property
@@ -162,11 +171,13 @@ class ServeReport:
                 "ttft p95": self.ttft_percentile_ms(95),
                 "slo %": self.slo_attainment * 100.0,
                 "batch": self.mean_batch_size,
+                "preempt": float(self.preemptions),
+                "kv peak": self.kv_peak_utilization,
             },
         )
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.label()}: {self.num_requests} requests, "
             f"{self.total_output_tokens} tokens in {self.duration_ms / 1000.0:.2f} s "
             f"({self.throughput_tok_s:.1f} tok/s), "
@@ -176,9 +187,19 @@ class ServeReport:
             f"mean batch {self.mean_batch_size:.1f}, "
             f"max queue depth {self.max_queue_depth}"
         )
+        if self.kv_total_blocks:
+            text += (
+                f", {self.preemptions} preemptions, "
+                f"KV peak {self.kv_peak_utilization * 100.0:.0f}% of "
+                f"{self.kv_total_blocks} blocks"
+            )
+        return text
 
 
-REPORT_COLUMNS = ["tok/s", "p50 (ms)", "p95 (ms)", "p99 (ms)", "ttft p95", "slo %", "batch"]
+REPORT_COLUMNS = [
+    "tok/s", "p50 (ms)", "p95 (ms)", "p99 (ms)", "ttft p95", "slo %", "batch",
+    "preempt", "kv peak",
+]
 
 
 def format_reports(title: str, reports: Sequence[ServeReport]) -> str:

@@ -1,9 +1,9 @@
 """Continuous-batching schedulers.
 
 Every decode step the simulator asks its scheduler which waiting requests
-to admit into the running batch (continuous batching: running requests are
-never preempted; free slots open up as generations finish and are refilled
-mid-flight).  Three policies are provided:
+to admit into the running batch (continuous batching: free slots open up
+as generations finish and are refilled mid-flight).  Four policies are
+provided:
 
 * :class:`FcfsScheduler` — classic continuous batching: fill free slots in
   arrival order (vLLM's default behaviour);
@@ -12,7 +12,25 @@ mid-flight).  Three policies are provided:
 * :class:`MaxBatchScheduler` — throughput-oriented: hold admissions back
   until the batch can be filled completely (or no more arrivals can help,
   or a waiting request has aged past ``max_wait_ms``), maximizing the batch
-  size each kernel launch amortizes over.
+  size each kernel launch amortizes over;
+* :class:`MemoryAwareScheduler` — KV-budget-aware: admit the requests with
+  the smallest KV block footprint first (packing more concurrent requests
+  into the budget), with an FCFS aging escape so long prompts cannot
+  starve.
+
+Since the KV-cache memory model, policies also expose two hooks the
+memory-aware simulator drives:
+
+* :meth:`Scheduler.select_memory` — admission with a
+  :class:`~repro.serving.memory.KvMemoryView` attached; the base
+  implementation delegates to :meth:`Scheduler.select`, so existing
+  policies (and user subclasses that only override ``select``) keep
+  working unchanged;
+* :meth:`Scheduler.preempt_order` — the order running requests should be
+  preempted in when a decode step would exceed the KV budget (first entry
+  = first victim).  The default is newest-first (LIFO, vLLM's
+  recompute-preemption order); ``slo`` preempts the latest deadline first
+  and ``memory-aware`` the largest block holder first.
 
 Schedulers are deterministic: ties break on ``request_id``, and no policy
 consults wall-clock or random state.
@@ -20,18 +38,37 @@ consults wall-clock or random state.
 
 from __future__ import annotations
 
-from typing import Dict, List, Type, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Type, Union
 
+from repro.serving.memory import KvMemoryView
 from repro.serving.workload import Request
 
 __all__ = [
     "FcfsScheduler",
     "MaxBatchScheduler",
+    "MemoryAwareScheduler",
+    "RunningInfo",
     "SCHEDULERS",
     "Scheduler",
     "SloScheduler",
     "get_scheduler",
 ]
+
+
+@dataclass(frozen=True)
+class RunningInfo:
+    """A read-only snapshot of one running request, for preemption policy.
+
+    ``admitted_ms`` is the time of the request's *latest* admission (so a
+    readmitted request counts as new again — LIFO preemption is over
+    residency, not first arrival); ``blocks_held`` its current KV holding.
+    """
+
+    request: Request
+    admitted_ms: float
+    tokens_done: int
+    blocks_held: int
 
 
 class Scheduler:
@@ -56,6 +93,48 @@ class Scheduler:
         "this is all the traffic there will ever be").
         """
         raise NotImplementedError
+
+    def select_memory(
+        self,
+        waiting: List[Request],
+        running: int,
+        free_slots: int,
+        now_ms: float,
+        more_arrivals: bool,
+        memory: Optional[KvMemoryView],
+    ) -> List[Request]:
+        """Admission with the KV block pool attached.
+
+        The base implementation delegates to :meth:`select` and then keeps
+        the *prefix* of the policy's choice whose admission blocks fit the
+        free pool — a prefix, not a filter, so no request sneaks past one
+        the policy ranked ahead of it (FCFS stays FCFS under memory
+        pressure).  Policies that only override ``select`` therefore keep
+        working unchanged; ``memory=None`` (memory model disabled) is the
+        exact pre-KV behaviour.
+        """
+        chosen = self.select(waiting, running, free_slots, now_ms, more_arrivals)
+        if memory is None:
+            return chosen
+        admitted: List[Request] = []
+        free = memory.free_blocks
+        for request in chosen:
+            need = memory.admission_blocks(request)
+            if need > free:
+                break
+            admitted.append(request)
+            free -= need
+        return admitted
+
+    def preempt_order(self, running: List[RunningInfo], now_ms: float) -> List[RunningInfo]:
+        """The order running requests are preempted in (first = first victim).
+
+        Called when a decode step would exceed the KV budget.  The default
+        is newest-first (LIFO over the latest admission time — vLLM's
+        recompute-preemption order): the most recently admitted request has
+        the least decode progress to throw away.
+        """
+        return sorted(running, key=lambda s: (-s.admitted_ms, -s.request.request_id))
 
     def next_event_ms(self, waiting: List[Request], now_ms: float):
         """When a deferral should be re-polled, or ``None``.
@@ -89,6 +168,12 @@ class SloScheduler(Scheduler):
     def select(self, waiting, running, free_slots, now_ms, more_arrivals):
         by_deadline = sorted(waiting, key=lambda r: (r.deadline_ms, r.request_id))
         return by_deadline[:free_slots]
+
+    def preempt_order(self, running, now_ms):
+        # The mirror of EDF admission: sacrifice the slackest deadline first.
+        return sorted(
+            running, key=lambda s: (-s.request.deadline_ms, -s.request.request_id)
+        )
 
 
 class MaxBatchScheduler(Scheduler):
@@ -127,10 +212,77 @@ class MaxBatchScheduler(Scheduler):
         return waiting[0].arrival_ms + self.max_wait_ms
 
 
+class MemoryAwareScheduler(Scheduler):
+    """KV-budget-aware admission: smallest block footprint first.
+
+    Under memory pressure, admitting the requests whose prompts pin the
+    fewest KV blocks packs more concurrent generations into the budget
+    (higher batch occupancy per block).  Pure smallest-first would starve
+    long prompts, so any request that has waited longer than
+    ``max_wait_ms`` jumps to the head of the line *in arrival order* and
+    blocks everything behind it until it fits (head-of-line aging, the same
+    liveness escape ``max-batch`` uses for time).
+
+    Without a memory view (the KV model disabled) the policy degrades to
+    plain FCFS, and preemption targets the largest block holder first —
+    evicting one marathon context frees the most blocks per recompute.
+    """
+
+    name = "memory-aware"
+
+    def __init__(self, max_wait_ms: float = 2000.0):
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self.max_wait_ms = max_wait_ms
+
+    def select(self, waiting, running, free_slots, now_ms, more_arrivals):
+        return list(waiting[:free_slots])
+
+    def select_memory(self, waiting, running, free_slots, now_ms, more_arrivals, memory):
+        if memory is None:
+            return self.select(waiting, running, free_slots, now_ms, more_arrivals)
+        if not waiting or free_slots <= 0:
+            return []
+        aged = [r for r in waiting if now_ms - r.arrival_ms >= self.max_wait_ms]
+        fresh = [r for r in waiting if now_ms - r.arrival_ms < self.max_wait_ms]
+        fresh.sort(key=lambda r: (memory.admission_blocks(r), r.arrival_ms, r.request_id))
+        admitted: List[Request] = []
+        free = memory.free_blocks
+        # Aged requests first, in arrival order, and nothing may jump past
+        # one that does not fit; fresh requests are packed smallest-first
+        # (sorted ascending, so the first misfit ends the round).
+        for request in aged + fresh:
+            if len(admitted) >= free_slots:
+                break
+            need = memory.admission_blocks(request)
+            if need > free:
+                break
+            admitted.append(request)
+            free -= need
+        return admitted
+
+    def preempt_order(self, running, now_ms):
+        # Largest holder first — evicting one marathon context frees the
+        # most blocks per recompute — EXCEPT the longest-resident request,
+        # which is always the last resort.  Without that exemption the
+        # policy livelocks: the largest holder is evicted, readmitted with
+        # a small footprint, grows back into the largest holder and is
+        # evicted again, so no request ever finishes.  Newest-first (the
+        # base policy) and deadline-ordered preemption protect a stable
+        # survivor implicitly; largest-first must do it explicitly.
+        oldest = min(running, key=lambda s: (s.admitted_ms, s.request.request_id))
+        ordered = sorted(
+            running,
+            key=lambda s: (-s.blocks_held, -s.admitted_ms, -s.request.request_id),
+        )
+        return [s for s in ordered if s is not oldest] + [oldest]
+
+
 SCHEDULERS: Dict[str, Type[Scheduler]] = {
     FcfsScheduler.name: FcfsScheduler,
     SloScheduler.name: SloScheduler,
     MaxBatchScheduler.name: MaxBatchScheduler,
+    MemoryAwareScheduler.name: MemoryAwareScheduler,
 }
 
 

@@ -6,22 +6,40 @@ discrete-event loop modelled on vLLM's engine step:
 1. admit every request whose arrival time has passed into the waiting set
    (when the engine is fully idle, simulated time jumps to the next
    arrival);
-2. ask the scheduler which waiting requests join the running batch
-   (continuous batching — running requests are never preempted, free slots
-   refill mid-flight as generations finish);
-3. run one decode step for the whole batch: every running request emits one
+2. grow every running request's KV holding by the token it is about to
+   decode; if the pool cannot cover the growth, running requests are
+   **preempted** back to the waiting queue in the scheduler's
+   :meth:`~repro.serving.scheduler.Scheduler.preempt_order` (newest-first
+   by default — vLLM's recompute preemption) until the rest fit.  A
+   preempted request restarts from scratch on readmission
+   (recompute-on-readmit: it pays its prefill again and re-decodes);
+3. ask the scheduler which waiting requests join the running batch
+   (continuous batching — free slots refill mid-flight as generations
+   finish).  Admission is **memory-aware**: a request only joins when its
+   prompt's KV blocks (plus the first decode token) fit the free pool;
+4. run one decode step for the whole batch: every running request emits one
    token, and the step's duration comes from the
    :class:`~repro.serving.step_model.StepLatencyModel` at the *bucketed*
    batch size.  Requests joining this step first pay a prefill surcharge
    proportional to their prompt length (prefill processes tokens
    ``prefill_parallelism`` times more efficiently than decode, reflecting
    its compute-dense batching);
-4. completed requests leave the batch, recording their finish time.
+5. completed requests leave the batch, freeing their KV blocks and
+   recording their finish time.
+
+The KV budget defaults to the replica's real capacity — the architecture's
+HBM (``GpuArch.hbm_gb``) times a utilization headroom, minus the sharded
+model weights, in :data:`~repro.serving.memory.DEFAULT_KV_BLOCK_TOKENS`-token
+blocks (see :mod:`repro.serving.memory`).  Pass ``kv_budget_blocks`` to
+model a smaller (or effectively infinite) pool, or ``kv_memory=False`` to
+disable the accounting entirely; a run that never hits the budget is
+bit-identical to one with the model disabled.
 
 Everything is deterministic: the only randomness lives in the seeded
-workload generators, schedulers break ties on request ids, and the step
-latencies are memoized analytical results — so two runs of the same seeded
-workload produce bit-identical :class:`ServeReport` digests.
+workload generators, schedulers break ties on request ids, block accounting
+is integer arithmetic, and the step latencies are memoized analytical
+results — so two runs of the same seeded workload produce bit-identical
+:class:`ServeReport` digests.
 """
 
 from __future__ import annotations
@@ -29,11 +47,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
+from repro.serving.memory import (
+    DEFAULT_HBM_UTILIZATION,
+    DEFAULT_KV_BLOCK_TOKENS,
+    KvBlockManager,
+    kv_budget_blocks as _derive_kv_budget_blocks,
+)
 from repro.serving.report import RequestMetrics, ServeReport
-from repro.serving.scheduler import Scheduler, get_scheduler
+from repro.serving.scheduler import RunningInfo, Scheduler, get_scheduler
 from repro.serving.step_model import PrecompileStats, StepLatencyModel, shared_step_model
 from repro.serving.workload import Request, RequestQueue
-from repro.sim.arch import get_arch
+from repro.sim.arch import DEFAULT_EVAL_ARCH, get_arch
 
 __all__ = ["ServingSimulator", "simulate"]
 
@@ -44,6 +68,7 @@ class _ActiveRequest:
 
     request: Request
     scheduled_ms: float = -1.0
+    admitted_ms: float = -1.0
     first_token_ms: float = -1.0
     tokens_done: int = 0
 
@@ -59,6 +84,13 @@ class ServingSimulator:
     (so repeated simulations share kernel compilations and memoized step
     latencies); pass an explicit :class:`StepLatencyModel` to isolate
     caches, e.g. for cold-start experiments.
+
+    ``kv_budget_blocks=None`` derives the per-replica KV block budget from
+    the model config and the architecture's HBM capacity
+    (:func:`repro.serving.memory.kv_budget_blocks`); an explicit block
+    count overrides it (e.g. a tiny pool to study preemption, or a huge
+    one to make memory irrelevant).  ``kv_memory=False`` turns the
+    accounting off entirely — the pre-KV simulator.
     """
 
     def __init__(
@@ -66,10 +98,14 @@ class ServingSimulator:
         model_config,
         backend: str = "hexcute",
         scheduler: Union[str, Scheduler] = "fcfs",
-        arch="h100",
+        arch=DEFAULT_EVAL_ARCH,
         max_batch_size: int = 32,
         prefill_parallelism: float = 8.0,
         step_model: Optional[StepLatencyModel] = None,
+        kv_memory: bool = True,
+        kv_block_tokens: int = DEFAULT_KV_BLOCK_TOKENS,
+        kv_budget_blocks: Optional[int] = None,
+        hbm_utilization: float = DEFAULT_HBM_UTILIZATION,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -82,6 +118,24 @@ class ServingSimulator:
         self.max_batch_size = max_batch_size
         self.prefill_parallelism = prefill_parallelism
         self.step_model = step_model if step_model is not None else shared_step_model(self.arch)
+        # A batch above the largest step-model bucket would previously be
+        # *silently* timed at the largest bucket; extend the bucket set so
+        # every step is timed at a bucket covering the actual batch.
+        self.step_model.ensure_bucket(max_batch_size)
+        self.kv_block_tokens = kv_block_tokens
+        if not kv_memory:
+            self.kv_budget_blocks: Optional[int] = None
+        elif kv_budget_blocks is not None:
+            if kv_budget_blocks < 1:
+                raise ValueError(f"kv_budget_blocks must be >= 1, got {kv_budget_blocks}")
+            self.kv_budget_blocks = int(kv_budget_blocks)
+        else:
+            self.kv_budget_blocks = _derive_kv_budget_blocks(
+                model_config,
+                self.arch,
+                block_tokens=kv_block_tokens,
+                hbm_utilization=hbm_utilization,
+            )
 
     # ------------------------------------------------------------------ #
     def precompile(self) -> PrecompileStats:
@@ -91,8 +145,82 @@ class ServingSimulator:
             buckets.append(self.step_model.bucket_for(self.max_batch_size))
         return self.step_model.precompile(self.model_config, self.backend, buckets=buckets)
 
+    # ------------------------------------------------------------------ #
+    def _grow_running(
+        self,
+        manager: KvBlockManager,
+        running: List[_ActiveRequest],
+        waiting: List[_ActiveRequest],
+        now: float,
+    ) -> List[_ActiveRequest]:
+        """Allocate each running request's next decode token, preempting
+        (scheduler-ordered, recompute-on-readmit) until the rest fit."""
+        needed = {
+            s.request.request_id: manager.blocks_for(
+                s.request.prompt_tokens + s.tokens_done + 1
+            )
+            for s in running
+        }
+        total_needed = sum(needed.values())
+        victims = set()
+        if total_needed > manager.total_blocks:
+            infos = [
+                RunningInfo(
+                    request=s.request,
+                    admitted_ms=s.admitted_ms,
+                    tokens_done=s.tokens_done,
+                    blocks_held=manager.held(s.request.request_id),
+                )
+                for s in running
+            ]
+            order = self.scheduler.preempt_order(infos, now)
+            order_ids = [info.request.request_id for info in order]
+            if sorted(order_ids) != sorted(needed):
+                raise RuntimeError(
+                    f"scheduler {self.scheduler.name!r} preempt_order is not a "
+                    f"permutation of the running batch"
+                )
+            for request_id in order_ids:
+                if total_needed <= manager.total_blocks or len(needed) == 1:
+                    break
+                total_needed -= needed.pop(request_id)
+                victims.add(request_id)
+
+        # Victims release before any survivor grows: a survivor's growth may
+        # only fit *because* a victim later in batch order is being evicted.
+        survivors: List[_ActiveRequest] = []
+        for state in running:
+            if state.request.request_id in victims:
+                manager.release(state.request.request_id)
+                # Recompute-on-readmit: the generation restarts from the
+                # prompt (it re-pays prefill and re-decodes on readmission).
+                state.tokens_done = 0
+                state.admitted_ms = -1.0
+                waiting.append(state)
+            else:
+                survivors.append(state)
+        for state in survivors:
+            manager.allocate(
+                state.request.request_id, state.request.prompt_tokens + state.tokens_done + 1
+            )
+        return survivors
+
     def simulate(self, requests: Sequence[Request], workload: str = "custom") -> ServeReport:
         """Play ``requests`` through the engine and report the outcome."""
+        # Fresh block accounting per run, so repeated simulate() calls on
+        # one simulator are independent and bit-identical.
+        manager: Optional[KvBlockManager] = None
+        if self.kv_budget_blocks is not None:
+            manager = KvBlockManager(self.kv_budget_blocks, self.kv_block_tokens)
+            for request in requests:
+                full = manager.blocks_for(request.prompt_tokens + request.output_tokens)
+                if full > manager.total_blocks:
+                    raise ValueError(
+                        f"request {request.request_id} needs {full} KV blocks at full "
+                        f"context ({request.prompt_tokens}+{request.output_tokens} tokens) "
+                        f"but the replica budget is {manager.total_blocks} blocks"
+                    )
+
         queue = RequestQueue(requests)
         waiting: List[_ActiveRequest] = []
         running: List[_ActiveRequest] = []
@@ -103,6 +231,8 @@ class ServingSimulator:
         batch_size_sum = 0
         queue_depth_sum = 0
         max_queue_depth = 0
+        preemptions = 0
+        kv_utilization_sum = 0.0
 
         while len(queue) or waiting or running:
             waiting.extend(_ActiveRequest(r) for r in queue.pop_arrived(now))
@@ -113,12 +243,24 @@ class ServingSimulator:
                 now = queue.next_arrival_ms
                 continue
 
-            admitted = self.scheduler.select(
+            # Grow the already-running requests first (preempting if the
+            # pool cannot cover the growth), then admit into what is left —
+            # so admission can never force the request it just admitted
+            # straight back out.
+            if manager is not None and running:
+                before = len(running)
+                running = self._grow_running(manager, running, waiting, now)
+                if len(running) != before:
+                    preemptions += before - len(running)
+                    waiting.sort(key=lambda s: (s.request.arrival_ms, s.request.request_id))
+
+            admitted = self.scheduler.select_memory(
                 [s.request for s in waiting],
                 running=len(running),
                 free_slots=self.max_batch_size - len(running),
                 now_ms=now,
                 more_arrivals=len(queue) > 0,
+                memory=manager.view() if manager is not None else None,
             )
             admitted_ids = {r.request_id for r in admitted}
             if len(admitted_ids) > self.max_batch_size - len(running):
@@ -129,14 +271,29 @@ class ServingSimulator:
             joining = [s for s in waiting if s.request.request_id in admitted_ids]
             waiting = [s for s in waiting if s.request.request_id not in admitted_ids]
             for state in joining:
-                state.scheduled_ms = now
+                if state.scheduled_ms < 0:
+                    state.scheduled_ms = now
+                state.admitted_ms = now
+                if manager is not None:
+                    try:
+                        # The prompt plus the first decode token, mirroring
+                        # KvMemoryView.admission_blocks.
+                        manager.allocate(
+                            state.request.request_id, state.request.prompt_tokens + 1
+                        )
+                    except RuntimeError as exc:
+                        raise RuntimeError(
+                            f"scheduler {self.scheduler.name!r} admitted request "
+                            f"{state.request.request_id} beyond the KV budget: {exc}"
+                        ) from exc
             running.extend(joining)
 
             if not running:
-                # The scheduler deferred (e.g. max-batch waiting to fill) and
-                # nothing is in flight: advance to whichever comes first, the
-                # next arrival or the scheduler's own re-poll time (so a
-                # time-based deferral like max_wait_ms cannot be slept past).
+                # The scheduler deferred (e.g. max-batch waiting to fill, or
+                # nothing fits the KV pool) and nothing is in flight:
+                # advance to whichever comes first, the next arrival or the
+                # scheduler's own re-poll time (so a time-based deferral
+                # like max_wait_ms cannot be slept past).
                 hints = [
                     queue.next_arrival_ms,
                     self.scheduler.next_event_ms([s.request for s in waiting], now),
@@ -163,6 +320,8 @@ class ServingSimulator:
             batch_size_sum += batch
             queue_depth_sum += len(waiting)
             max_queue_depth = max(max_queue_depth, len(waiting))
+            if manager is not None:
+                kv_utilization_sum += manager.utilization
 
             still_running: List[_ActiveRequest] = []
             for state in running:
@@ -170,6 +329,8 @@ class ServingSimulator:
                 if state.first_token_ms < 0:
                     state.first_token_ms = now
                 if state.done:
+                    if manager is not None:
+                        manager.release(state.request.request_id)
                     finished.append(
                         RequestMetrics(
                             request_id=state.request.request_id,
@@ -202,6 +363,15 @@ class ServingSimulator:
             mean_queue_depth=queue_depth_sum / steps if steps else 0.0,
             max_queue_depth=max_queue_depth,
             requests=finished,
+            preemptions=preemptions,
+            kv_block_tokens=self.kv_block_tokens if manager is not None else 0,
+            kv_total_blocks=manager.total_blocks if manager is not None else 0,
+            kv_peak_utilization=(
+                manager.peak_used_blocks / manager.total_blocks if manager is not None else 0.0
+            ),
+            mean_kv_utilization=(
+                kv_utilization_sum / steps if manager is not None and steps else 0.0
+            ),
         )
 
 

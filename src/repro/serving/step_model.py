@@ -51,7 +51,7 @@ from repro.instructions.registry import instruction_set
 from repro.pipeline.cache import CompileCache, compile_key, default_cache
 from repro.pipeline.context import CompileOptions, CompileRequest
 from repro.pipeline.driver import compile_many
-from repro.sim.arch import get_arch
+from repro.sim.arch import DEFAULT_EVAL_ARCH, get_arch
 
 __all__ = [
     "DEFAULT_BATCH_BUCKETS",
@@ -193,7 +193,7 @@ class StepLatencyModel:
 
     def __init__(
         self,
-        arch="h100",
+        arch=DEFAULT_EVAL_ARCH,
         buckets: Sequence[int] = DEFAULT_BATCH_BUCKETS,
         cache: Optional[CompileCache] = None,
     ):
@@ -209,13 +209,43 @@ class StepLatencyModel:
 
     # ------------------------------------------------------------------ #
     def bucket_for(self, batch: int) -> int:
-        """The smallest bucket >= ``batch`` (clamped to the largest)."""
+        """The smallest bucket >= ``batch``.
+
+        A batch above the largest bucket used to be *silently clamped* —
+        timed as if it were the largest bucket, so a simulator configured
+        with ``max_batch_size`` above the bucket set underestimated every
+        step.  It is now an error; callers that legitimately need a larger
+        bucket extend the set with :meth:`ensure_bucket` (the
+        :class:`~repro.serving.simulator.ServingSimulator` constructor
+        does this for its ``max_batch_size``).
+        """
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
         for bucket in self.buckets:
             if batch <= bucket:
                 return bucket
-        return self.buckets[-1]
+        raise ValueError(
+            f"batch {batch} exceeds the largest step-latency bucket "
+            f"{self.buckets[-1]}; call ensure_bucket({batch}) (or construct the "
+            f"model with larger buckets) instead of relying on a silent clamp"
+        )
+
+    def ensure_bucket(self, batch: int) -> int:
+        """Guarantee a bucket covering ``batch`` exists; return that bucket.
+
+        Extends the bucket set with the next power of two >= ``batch``
+        (keeping the power-of-two discipline real engines use for captured
+        kernel shapes).  Memoized latencies are unaffected: buckets only
+        ever grow, and existing queries keep resolving to their old
+        buckets.
+        """
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        with self._lock:
+            if batch > self.buckets[-1]:
+                new_bucket = 1 << (batch - 1).bit_length()
+                self.buckets = tuple(sorted(set(self.buckets) | {new_bucket}))
+        return self.bucket_for(batch)
 
     def operator_latencies_us(
         self,
@@ -441,7 +471,7 @@ _shared_models: Dict[str, StepLatencyModel] = {}
 _shared_lock = threading.Lock()
 
 
-def shared_step_model(arch="h100") -> StepLatencyModel:
+def shared_step_model(arch=DEFAULT_EVAL_ARCH) -> StepLatencyModel:
     """The process-wide :class:`StepLatencyModel` for ``arch``.
 
     ``e2e.decode_latency`` routes through this, so repeated calls at the

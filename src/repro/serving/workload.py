@@ -12,7 +12,12 @@ a continuous-batching engine is exercised with:
   queue depth and batch recomposition);
 * :func:`heavy_tail_workload` — Poisson arrivals whose *output* lengths are
   Pareto distributed, so a few marathon generations share batches with many
-  short ones (the regime continuous batching exists for).
+  short ones (the regime continuous batching exists for);
+* :func:`memory_pressure_workload` — Poisson arrivals with long prompts
+  *and* long outputs, so running requests keep growing their KV footprint
+  (the regime where admission and preemption are decided by the block
+  budget, not the slot count — saturates the KV pool long before the batch
+  slots).
 
 Every generator draws from a private ``random.Random(seed)``, so a given
 ``(generator, parameters, seed)`` triple always produces the identical
@@ -21,6 +26,7 @@ request list — the property the CI determinism check relies on.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from collections import deque
 from dataclasses import dataclass
@@ -33,6 +39,7 @@ __all__ = [
     "bursty_workload",
     "heavy_tail_workload",
     "make_workload",
+    "memory_pressure_workload",
     "steady_workload",
 ]
 
@@ -204,15 +211,56 @@ def heavy_tail_workload(
     )
 
 
+def memory_pressure_workload(
+    num_requests: int = 32,
+    rate_rps: float = 4.0,
+    mean_prompt_tokens: int = 2048,
+    mean_output_tokens: int = 256,
+    max_prompt_tokens: int = 8192,
+    max_output_tokens: int = 1024,
+    slo_ms: Optional[float] = None,
+    seed: int = 0,
+) -> List[Request]:
+    """Poisson arrivals with long prompts and long outputs.
+
+    Every request carries a large KV footprint at admission (the prompt)
+    and keeps growing it for hundreds of decode steps (the output), so a
+    replica saturates its block budget well before its batch slots — the
+    regime where memory-aware admission and preemption decide throughput.
+    Lengths are exponentially distributed but *capped* (unlike the other
+    generators) so the worst-case single-request footprint is bounded and
+    a deliberately small block budget stays feasible.
+    """
+    rng = random.Random(seed)
+    now = 0.0
+    arrivals = []
+    for _ in range(num_requests):
+        now += rng.expovariate(rate_rps) * 1000.0
+        arrivals.append(now)
+
+    def sample_output(r: random.Random) -> int:
+        return min(max_output_tokens, _token_count(r, mean_output_tokens))
+
+    requests = _build_requests(
+        arrivals, rng, mean_prompt_tokens, 0, slo_ms, output_sampler=sample_output
+    )
+    return [
+        dataclasses.replace(r, prompt_tokens=min(r.prompt_tokens, max_prompt_tokens))
+        for r in requests
+    ]
+
+
 WORKLOADS: Dict[str, Callable[..., List[Request]]] = {
     "steady": steady_workload,
     "bursty": bursty_workload,
     "heavy-tail": heavy_tail_workload,
+    "memory-pressure": memory_pressure_workload,
 }
 
 
 def make_workload(name: str, **kwargs) -> List[Request]:
-    """Build a named workload (``steady``, ``bursty``, ``heavy-tail``)."""
+    """Build a named workload (``steady``, ``bursty``, ``heavy-tail``,
+    ``memory-pressure``)."""
     try:
         generator = WORKLOADS[name]
     except KeyError:

@@ -13,9 +13,16 @@ on relative instruction efficiency, which the cost model captures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
-__all__ = ["GpuArch", "A100", "H100", "DEFAULT_ARCH", "get_arch"]
+__all__ = [
+    "GpuArch",
+    "A100",
+    "H100",
+    "DEFAULT_ARCH",
+    "DEFAULT_EVAL_ARCH",
+    "get_arch",
+]
 
 # The canonical architecture every compile entry point defaults to
 # (``compile_kernel``, ``compile_program``, ``compile_many``,
@@ -23,6 +30,13 @@ __all__ = ["GpuArch", "A100", "H100", "DEFAULT_ARCH", "get_arch"]
 # ``"a100"``/``"h100"``, the SM numbers ``80``/``90``, ``"sm_80"``, or a
 # :class:`GpuArch` — selects an architecture explicitly.
 DEFAULT_ARCH = "a100"
+
+# The canonical architecture the *evaluation* layers default to: the
+# serving stack (``ServingSimulator``, ``StepLatencyModel``,
+# ``shared_step_model``) and the end-to-end harness (``decode_latency``)
+# model the paper's Fig. 13 deployment, which runs on H100.  Compile entry
+# points keep :data:`DEFAULT_ARCH`.
+DEFAULT_EVAL_ARCH = "h100"
 
 
 @dataclass(frozen=True)
@@ -42,6 +56,9 @@ class GpuArch:
     fp8_tensor_tflops: float
     fp32_tflops: float
     kernel_launch_us: float = 4.0
+    # HBM capacity (decimal GB, matching the marketing figure the paper
+    # quotes); the serving layer's KV-cache budget derives from this.
+    hbm_gb: float = 80.0
 
     @property
     def clock_hz(self) -> float:
@@ -55,14 +72,32 @@ class GpuArch:
             return self.fp8_tensor_tflops
         return self.fp16_tensor_tflops
 
-    def max_ctas_per_sm(self, threads_per_cta: int, smem_bytes_per_cta: float) -> int:
-        """Occupancy bound from threads and shared-memory usage."""
+    def max_ctas_per_sm(
+        self,
+        threads_per_cta: int,
+        smem_bytes_per_cta: float,
+        regs_per_thread: Optional[int] = None,
+    ) -> int:
+        """Occupancy bound from threads, shared-memory and register usage.
+
+        ``regs_per_thread`` is the per-thread register allocation; when the
+        caller has no estimate (``None``) the compiler's default allocation
+        ``registers_per_sm / max_threads_per_sm`` is assumed — the budget
+        that permits full thread occupancy, so the register bound then
+        coincides with the thread bound.  A register-heavy kernel (an
+        explicit ``regs_per_thread`` above that budget) is clamped by the
+        register file like the CUDA occupancy calculator would.
+        """
         by_threads = max(1, self.max_threads_per_sm // max(threads_per_cta, 32))
         smem_limit = self.shared_mem_per_sm_kb * 1024
         by_smem = (
             max(1, int(smem_limit // smem_bytes_per_cta)) if smem_bytes_per_cta > 0 else 32
         )
-        return max(1, min(by_threads, by_smem, 32))
+        if regs_per_thread is None:
+            regs_per_thread = max(1, self.registers_per_sm // self.max_threads_per_sm)
+        regs_per_cta = max(1, regs_per_thread) * max(threads_per_cta, 32)
+        by_regs = max(1, self.registers_per_sm // regs_per_cta)
+        return max(1, min(by_threads, by_smem, by_regs, 32))
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.name

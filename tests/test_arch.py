@@ -1,0 +1,67 @@
+"""Tests for the simulated GPU architecture specs (repro.sim.arch)."""
+
+import pytest
+
+from repro.sim.arch import A100, DEFAULT_ARCH, DEFAULT_EVAL_ARCH, H100, get_arch
+
+
+def test_get_arch_resolves_all_spellings():
+    assert get_arch("a100") is A100
+    assert get_arch("H100") is H100
+    assert get_arch(80) is A100
+    assert get_arch("sm_90") is H100
+    assert get_arch(A100) is A100
+    with pytest.raises(KeyError):
+        get_arch("mi300")
+
+
+def test_canonical_defaults():
+    # Compile entry points default to A100 (the paper's primary part);
+    # the evaluation layers (serving, e2e) model the Fig. 13 H100 box.
+    assert get_arch(DEFAULT_ARCH) is A100
+    assert get_arch(DEFAULT_EVAL_ARCH) is H100
+    assert A100.hbm_gb == 80.0 and H100.hbm_gb == 80.0
+
+
+# --------------------------------------------------------------------------- #
+# Occupancy
+# --------------------------------------------------------------------------- #
+def test_max_ctas_per_sm_thread_and_smem_bounds():
+    # 2048 threads/SM at 256 threads/CTA -> 8 CTAs by threads.
+    assert A100.max_ctas_per_sm(256, 0.0) == 8
+    # 164 KB of shared memory at 64 KB/CTA -> 2 CTAs by smem.
+    assert A100.max_ctas_per_sm(256, 64 * 1024) == 2
+
+
+def test_max_ctas_per_sm_register_bound():
+    """Regression: `registers_per_sm` used to be ignored entirely, so a
+    register-heavy kernel was credited with thread-bound occupancy."""
+    # 128 regs/thread x 256 threads = 32768 regs/CTA -> 2 CTAs fit the
+    # 65536-register file; the thread bound alone would have said 8.
+    assert A100.max_ctas_per_sm(256, 0.0, regs_per_thread=128) == 2
+    assert A100.max_ctas_per_sm(256, 0.0, regs_per_thread=255) == 1
+    # At or below the default allocation the register file is not the
+    # limiter: 32 regs/thread supports full thread occupancy.
+    assert A100.max_ctas_per_sm(256, 0.0, regs_per_thread=32) == 8
+    assert A100.max_ctas_per_sm(256, 0.0, regs_per_thread=16) == 8
+
+
+def test_max_ctas_per_sm_default_regs_match_thread_bound():
+    """With no register estimate the compiler-default allocation
+    (registers_per_sm / max_threads_per_sm) is assumed, which by
+    construction reproduces the thread bound — the pre-fix behaviour for
+    callers that pass no estimate (e.g. sim.timing)."""
+    for threads in (32, 64, 128, 256, 512, 1024):
+        for smem in (0.0, 16 * 1024, 48 * 1024):
+            assert A100.max_ctas_per_sm(threads, smem) == A100.max_ctas_per_sm(
+                threads, smem, regs_per_thread=A100.registers_per_sm // A100.max_threads_per_sm
+            )
+
+
+def test_max_ctas_per_sm_combined_minimum():
+    # Register bound (2) tighter than smem (5) and threads (8).
+    assert H100.max_ctas_per_sm(256, 40 * 1024, regs_per_thread=128) == 2
+    # Smem bound (1) tighter than registers (2).
+    assert H100.max_ctas_per_sm(256, 200 * 1024, regs_per_thread=128) == 1
+    # Never below 1 even for absurd usage.
+    assert H100.max_ctas_per_sm(2048, 1024 * 1024, regs_per_thread=256) == 1

@@ -213,6 +213,41 @@ def test_stale_entry_falls_back_to_search_and_is_repaired():
     assert warm.cache_hit and warm.candidates_explored == 1
 
 
+def test_batch_compiles_flush_the_disk_store_once(tmp_path):
+    """compile_many over a disk-backed cache must not rewrite the JSON store
+    per insertion (O(n^2) I/O across a fan-out): puts inside the batch only
+    mark the store dirty and one flush runs at the end."""
+    from repro.pipeline import compile_many
+
+    path = str(tmp_path / "compile_cache.json")
+    cache = CompileCache(disk_path=path)
+    programs = [small_gemm(), small_gemm(bk=64, k=128), small_gemm(bm=32)]
+    compile_many(programs, arch="a100", max_candidates=2, cache=cache)
+    assert cache.stats.puts == 3
+    assert cache.disk_writes == 1  # one flush for the whole batch
+    # Write-through semantics survive for single compiles.
+    compile_kernel(small_gemm(bm=32, bn=32), arch="a100", max_candidates=2, cache=cache)
+    assert cache.disk_writes == 2
+    # All four entries made it to disk.
+    assert len(CompileCache(disk_path=path)) == 4
+
+
+def test_flush_is_a_noop_when_clean(tmp_path):
+    path = str(tmp_path / "compile_cache.json")
+    cache = CompileCache(disk_path=path)
+    assert cache.flush() is False  # nothing dirty yet
+    compile_kernel(small_gemm(), arch="a100", max_candidates=2, cache=cache)
+    writes = cache.disk_writes
+    assert cache.flush() is False  # put already wrote through
+    assert cache.disk_writes == writes
+    with cache.deferred_writes():
+        compile_kernel(small_gemm(bm=32), arch="a100", max_candidates=2, cache=cache)
+        assert cache.disk_writes == writes  # deferred: no write yet
+    assert cache.disk_writes == writes + 1  # flushed on scope exit
+    # No disk store configured: flush is a harmless no-op.
+    assert CompileCache().flush() is False
+
+
 def test_disk_store_tolerates_corruption(tmp_path):
     """A damaged store degrades to a cold cache instead of failing the
     compile that tried to warm up from it, and is rewritten on the next put."""

@@ -8,20 +8,29 @@ from repro.e2e import ModelConfig
 from repro.pipeline import CompileCache
 from repro.serving import (
     FcfsScheduler,
+    KvBlockManager,
+    KvMemoryView,
     MaxBatchScheduler,
+    MemoryAwareScheduler,
     Request,
     RequestQueue,
+    RunningInfo,
+    SCHEDULERS,
     ServingSimulator,
     SloScheduler,
     StepLatencyModel,
     bursty_workload,
     get_scheduler,
     heavy_tail_workload,
+    kv_budget_blocks,
+    kv_bytes_per_token,
     make_workload,
     percentile,
     shared_step_model,
     steady_workload,
+    weight_bytes,
 )
+from repro.serving.memory import blocks_for_tokens
 from repro.serving.report import RequestMetrics, ServeReport
 from repro.serving.scheduler import Scheduler
 from repro.serving.step_model import attention_step_us, operator_plan
@@ -147,16 +156,43 @@ def test_get_scheduler_resolves_names_and_instances():
 # --------------------------------------------------------------------------- #
 # Step-latency model
 # --------------------------------------------------------------------------- #
-def test_bucket_for_rounds_up_and_clamps():
+def test_bucket_for_rounds_up_and_rejects_oversized_batches():
     model = StepLatencyModel(arch="a100", buckets=(1, 2, 4, 8))
     assert model.bucket_for(1) == 1
     assert model.bucket_for(3) == 4
     assert model.bucket_for(8) == 8
-    assert model.bucket_for(100) == 8  # clamped to the largest bucket
+    # A batch above the largest bucket used to be silently clamped to it
+    # (timed as batch 8) — now it is an error.
+    with pytest.raises(ValueError):
+        model.bucket_for(100)
     with pytest.raises(ValueError):
         model.bucket_for(0)
     with pytest.raises(ValueError):
         StepLatencyModel(arch="a100", buckets=())
+
+
+def test_ensure_bucket_extends_to_the_next_power_of_two():
+    model = StepLatencyModel(arch="a100", buckets=(1, 2, 4, 8))
+    assert model.ensure_bucket(8) == 8  # already covered: no change
+    assert model.buckets == (1, 2, 4, 8)
+    assert model.ensure_bucket(100) == 128
+    assert model.buckets == (1, 2, 4, 8, 128)
+    assert model.bucket_for(100) == 128
+
+
+def test_simulator_extends_buckets_for_large_max_batch():
+    """ServingSimulator(max_batch_size=N) must never be timed at a smaller
+    bucket: the constructor extends the step model's bucket set."""
+    model = StepLatencyModel(arch="a100", buckets=(1, 2))
+    ServingSimulator(TINY_DENSE, arch="a100", max_batch_size=6, step_model=model)
+    assert model.buckets == (1, 2, 8)
+    # A batch of 6 is evaluated at its own bucket (8) — a fresh memo entry —
+    # not silently folded into bucket 2.
+    model.step_latency_ms(TINY_DENSE, "hexcute", batch=2)
+    misses_before = model.memo_misses
+    model.step_latency_ms(TINY_DENSE, "hexcute", batch=6)
+    assert model.bucket_for(6) == 8
+    assert model.memo_misses == misses_before + 1
 
 
 def test_operator_plan_resolves_baselines():
@@ -319,6 +355,272 @@ def _metrics(rid=0, finish=100.0):
         output_tokens=8,
         slo_ms=50.0,
     )
+
+
+# --------------------------------------------------------------------------- #
+# KV-cache memory model
+# --------------------------------------------------------------------------- #
+def test_kv_footprints_scale_with_model_shape():
+    per_token = kv_bytes_per_token(TINY_DENSE)
+    # 2 (K and V) x layers x heads x head_dim x fp16.
+    assert per_token == 2.0 * 2 * 4 * 64 * 2.0
+    sharded = kv_bytes_per_token(dataclasses.replace(TINY_DENSE, tensor_parallel=4))
+    assert sharded == per_token / 4
+
+    weights = weight_bytes(TINY_DENSE)
+    assert weights > 0
+    assert weight_bytes(dataclasses.replace(TINY_DENSE, tensor_parallel=2)) == weights / 2
+    with pytest.raises(KeyError):
+        weight_bytes(dataclasses.replace(TINY_DENSE, weight_dtype="fp13"))
+
+
+def test_kv_budget_blocks_derivation_and_errors():
+    budget = kv_budget_blocks(TINY_DENSE, "a100")
+    usable = 80.0 * 1e9 * 0.9 - weight_bytes(TINY_DENSE)
+    assert budget == int(usable // (kv_bytes_per_token(TINY_DENSE) * 16))
+    # Halving the utilization headroom shrinks the budget.
+    assert kv_budget_blocks(TINY_DENSE, "a100", hbm_utilization=0.45) < budget
+    with pytest.raises(ValueError):
+        kv_budget_blocks(TINY_DENSE, "a100", block_tokens=0)
+    with pytest.raises(ValueError):
+        kv_budget_blocks(TINY_DENSE, "a100", hbm_utilization=1.5)
+    # A model whose weights alone exceed usable HBM is unservable.
+    giant = dataclasses.replace(
+        TINY_DENSE, hidden_size=65536, num_layers=200, tensor_parallel=1
+    )
+    with pytest.raises(ValueError):
+        kv_budget_blocks(giant, "a100")
+
+
+def test_kv_block_manager_accounting():
+    manager = KvBlockManager(total_blocks=10, block_tokens=16)
+    assert manager.blocks_for(1) == 1
+    assert manager.blocks_for(16) == 1
+    assert manager.blocks_for(17) == 2
+
+    assert manager.allocate(7, 33) == 3  # three blocks taken
+    assert manager.used_blocks == 3 and manager.free_blocks == 7
+    assert manager.allocate(7, 34) == 0  # same block count: no growth
+    assert manager.allocate(7, 49) == 1  # crosses a block boundary
+    assert manager.held(7) == 4
+    assert manager.fits(8, 96) and not manager.fits(8, 97)
+    with pytest.raises(RuntimeError):
+        manager.allocate(8, 112)  # 7 blocks needed, 6 free
+    assert manager.peak_used_blocks == 4
+    assert manager.release(7) == 4
+    assert manager.free_blocks == 10 and manager.release(7) == 0
+
+    view = manager.view()
+    assert view.free_blocks == 10 and view.total_blocks == 10
+    assert view.blocks_for(17) == 2
+    with pytest.raises(ValueError):
+        KvBlockManager(total_blocks=0)
+
+
+def _pressure_workload(seed=3):
+    return make_workload(
+        "memory-pressure",
+        num_requests=12,
+        rate_rps=2000.0,
+        mean_prompt_tokens=16,
+        mean_output_tokens=96,
+        max_prompt_tokens=64,
+        max_output_tokens=192,
+        seed=seed,
+    )
+
+
+def _pressure_budget(workload, slack=2.0):
+    per_request = max(
+        blocks_for_tokens(r.prompt_tokens + r.output_tokens) for r in workload
+    )
+    return int(per_request * slack)
+
+
+def test_memory_pressure_workload_is_seeded_and_capped():
+    first = _pressure_workload()
+    assert first == _pressure_workload()
+    assert first != _pressure_workload(seed=4)
+    assert all(r.prompt_tokens <= 64 and r.output_tokens <= 192 for r in first)
+
+
+@pytest.mark.parametrize("scheduler", ["fcfs", "slo", "max-batch", "memory-aware"])
+def test_preemption_under_memory_pressure(scheduler):
+    """A tight KV budget must force preemptions, stay within the pool, be
+    deterministic, and still complete every request."""
+    workload = _pressure_workload()
+    sim = ServingSimulator(
+        TINY_DENSE,
+        scheduler=scheduler,
+        arch="a100",
+        max_batch_size=8,
+        kv_budget_blocks=_pressure_budget(workload),
+    )
+    report = sim.simulate(workload, workload="memory-pressure")
+    assert report.preemptions > 0
+    assert 0.0 < report.kv_peak_utilization <= 1.0
+    assert 0.0 < report.mean_kv_utilization <= 1.0
+    assert report.num_requests == len(workload)
+    assert report.digest() == sim.simulate(workload, workload="memory-pressure").digest()
+    for metrics in report.requests:
+        assert metrics.finish_ms > metrics.first_token_ms > metrics.arrival_ms
+
+
+def test_infinite_kv_budget_matches_memoryless_simulator():
+    """The acceptance gate: with an effectively infinite budget, every
+    scheduler's digest is bit-identical to the pre-KV simulator (the
+    kv_memory=False path) on the existing workload suite."""
+    generators = {
+        "steady": lambda: steady_workload(
+            num_requests=10, rate_rps=50.0, mean_prompt_tokens=64,
+            mean_output_tokens=12, seed=5,
+        ),
+        "bursty": lambda: bursty_workload(
+            num_requests=10, burst_size=4, mean_prompt_tokens=64,
+            mean_output_tokens=12, seed=5,
+        ),
+        "heavy-tail": lambda: heavy_tail_workload(
+            num_requests=10, rate_rps=50.0, mean_prompt_tokens=64,
+            min_output_tokens=4, max_output_tokens=64, seed=5,
+        ),
+    }
+    for name, generator in generators.items():
+        workload = generator()
+        for scheduler in sorted(SCHEDULERS):
+            def run(**kv_kwargs):
+                sim = ServingSimulator(
+                    TINY_DENSE, scheduler=scheduler, arch="a100",
+                    max_batch_size=4, **kv_kwargs,
+                )
+                return sim.simulate(workload, workload=name)
+
+            memoryless = run(kv_memory=False)
+            unconstrained = run(kv_budget_blocks=10**9)
+            assert memoryless.digest() == unconstrained.digest(), (name, scheduler)
+            assert memoryless.preemptions == 0
+            assert unconstrained.preemptions == 0
+
+
+def test_request_larger_than_budget_is_rejected():
+    requests = [
+        Request(request_id=0, arrival_ms=0.0, prompt_tokens=512, output_tokens=128, slo_ms=1e6)
+    ]
+    sim = ServingSimulator(TINY_DENSE, arch="a100", kv_budget_blocks=16)
+    with pytest.raises(ValueError):
+        sim.simulate(requests)
+
+
+def test_admission_is_blocked_until_blocks_free():
+    """Two requests that cannot coexist: the second must wait for the first
+    to finish and release its blocks, not share the pool."""
+    requests = [
+        Request(request_id=0, arrival_ms=0.0, prompt_tokens=64, output_tokens=32, slo_ms=1e6),
+        Request(request_id=1, arrival_ms=1.0, prompt_tokens=64, output_tokens=32, slo_ms=1e6),
+    ]
+    # Each request peaks at ceil(96/16) = 6 blocks; a 7-block pool holds one.
+    sim = ServingSimulator(TINY_DENSE, arch="a100", max_batch_size=4, kv_budget_blocks=7)
+    report = sim.simulate(requests)
+    assert report.num_requests == 2
+    first = next(m for m in report.requests if m.request_id == 0)
+    second = next(m for m in report.requests if m.request_id == 1)
+    # Strictly serial: the second is scheduled only after the first finished.
+    assert second.scheduled_ms >= first.finish_ms
+    assert report.mean_batch_size == 1.0
+    assert report.preemptions == 0  # admission control, not preemption
+
+
+# --------------------------------------------------------------------------- #
+# Memory-aware scheduling hooks
+# --------------------------------------------------------------------------- #
+def _view(free, total=1000, block_tokens=16):
+    return KvMemoryView(block_tokens=block_tokens, total_blocks=total, free_blocks=free)
+
+
+def _running(rid, admitted, blocks, slo=10_000.0, done=4):
+    return RunningInfo(
+        request=_request(rid, arrival=0.0, slo=slo),
+        admitted_ms=admitted,
+        tokens_done=done,
+        blocks_held=blocks,
+    )
+
+
+def test_base_select_memory_keeps_the_fitting_prefix():
+    scheduler = FcfsScheduler()
+    waiting = [
+        Request(request_id=0, arrival_ms=0.0, prompt_tokens=31, output_tokens=8, slo_ms=1e4),
+        Request(request_id=1, arrival_ms=1.0, prompt_tokens=160, output_tokens=8, slo_ms=1e4),
+        Request(request_id=2, arrival_ms=2.0, prompt_tokens=15, output_tokens=8, slo_ms=1e4),
+    ]
+    # 2 + 11 + 1 admission blocks; 8 free: the 11-block request does not fit
+    # and, as a *prefix* policy, nothing behind it may jump the queue.
+    picked = FcfsScheduler().select_memory(
+        waiting, running=0, free_slots=3, now_ms=5.0, more_arrivals=False,
+        memory=_view(free=8),
+    )
+    assert [r.request_id for r in picked] == [0]
+    # memory=None is the exact pre-KV path.
+    assert scheduler.select_memory(
+        waiting, 0, 3, 5.0, False, memory=None
+    ) == scheduler.select(waiting, 0, 3, 5.0, False)
+
+
+def test_memory_aware_scheduler_packs_smallest_first():
+    waiting = [
+        Request(request_id=0, arrival_ms=0.0, prompt_tokens=160, output_tokens=8, slo_ms=1e4),
+        Request(request_id=1, arrival_ms=1.0, prompt_tokens=15, output_tokens=8, slo_ms=1e4),
+        Request(request_id=2, arrival_ms=2.0, prompt_tokens=31, output_tokens=8, slo_ms=1e4),
+    ]
+    picked = MemoryAwareScheduler().select_memory(
+        waiting, running=0, free_slots=3, now_ms=5.0, more_arrivals=False,
+        memory=_view(free=8),
+    )
+    # Unlike FCFS, the big head-of-line request is skipped and the two small
+    # ones are packed (1 + 2 admission blocks <= 8 free).
+    assert [r.request_id for r in picked] == [1, 2]
+    # Without a memory view the policy degrades to FCFS.
+    assert [
+        r.request_id
+        for r in MemoryAwareScheduler().select_memory(
+            waiting, 0, 2, 5.0, False, memory=None
+        )
+    ] == [0, 1]
+
+
+def test_memory_aware_scheduler_ages_starving_requests():
+    scheduler = MemoryAwareScheduler(max_wait_ms=100.0)
+    waiting = [
+        Request(request_id=0, arrival_ms=0.0, prompt_tokens=160, output_tokens=8, slo_ms=1e4),
+        Request(request_id=1, arrival_ms=1.0, prompt_tokens=15, output_tokens=8, slo_ms=1e4),
+    ]
+    # Aged past max_wait_ms, the big request becomes head-of-line: it does
+    # not fit 8 free blocks and nothing may jump past it any more.
+    assert scheduler.select_memory(
+        waiting, 0, 2, now_ms=200.0, more_arrivals=False, memory=_view(free=8)
+    ) == []
+    # With enough free blocks it is admitted first, in arrival order.
+    picked = scheduler.select_memory(
+        waiting, 0, 2, now_ms=200.0, more_arrivals=False, memory=_view(free=16)
+    )
+    assert [r.request_id for r in picked] == [0, 1]
+
+
+def test_preempt_order_policies():
+    infos = [
+        _running(0, admitted=10.0, blocks=4, slo=50_000.0),
+        _running(1, admitted=20.0, blocks=9, slo=30_000.0),
+        _running(2, admitted=30.0, blocks=2, slo=1_000.0),
+    ]
+    # Default (FCFS/max-batch): newest admission first — vLLM's LIFO.
+    assert [s.request.request_id for s in FcfsScheduler().preempt_order(infos, 40.0)] \
+        == [2, 1, 0]
+    # SLO: slackest deadline first, tight deadlines protected.
+    assert [s.request.request_id for s in SloScheduler().preempt_order(infos, 40.0)] \
+        == [0, 1, 2]
+    # Memory-aware: largest holder first, but the longest resident (request
+    # 0) is always the last resort so one request always makes progress.
+    assert [s.request.request_id for s in MemoryAwareScheduler().preempt_order(infos, 40.0)] \
+        == [1, 2, 0]
 
 
 def test_report_digest_is_content_sensitive():

@@ -49,6 +49,42 @@ def test_candidate_swizzles_include_identity():
     assert len(set(candidates)) == len(candidates)
 
 
+def test_candidate_swizzles_span_uses_each_candidates_period():
+    """The row-span filter must be computed per candidate: a
+    ``Swizzle(bits, base, 3)`` permutes within ``2**(base+3+bits)`` elements
+    — a wider window than the ``shift == bits`` form at the same ``bits`` —
+    so deriving the span from the ``shift == bits`` period used to admit
+    wide-window candidates on buffers their period does not even cover."""
+    for element_bits in (8, 16, 32):
+        element_bytes = max(1, element_bits // 8)
+        for row_bytes in (0, 8, 16, 32, 64, 128, 256, 512, 1024):
+            limit = max(row_bytes, 16) * 8 if row_bytes else None
+            candidates = candidate_swizzles(element_bits, row_bytes)
+            assert candidates[0] == Swizzle(0, 0, 0)
+            assert len(set(candidates)) == len(candidates)
+            for swizzle in candidates[1:]:
+                # Every admitted candidate's *actual* permutation window
+                # fits the filter's span limit.
+                span_bytes = swizzle.period() * element_bytes
+                if limit is not None:
+                    assert span_bytes <= limit, (element_bits, row_bytes, swizzle)
+                # The base always protects one 16-byte vector.
+                assert (1 << swizzle.base) * element_bytes == 16
+
+
+def test_candidate_swizzles_small_rows_drop_wide_windows():
+    """The concrete fp16 regression: 16-byte rows admit Swizzle<1,3,1>
+    (64 B window) but must reject Swizzle<1,3,3> (256 B window), which the
+    old shift==bits span (64 B for both) let through."""
+    candidates = candidate_swizzles(16, 16)
+    assert Swizzle(1, 3, 1) in candidates
+    assert Swizzle(1, 3, 3) not in candidates
+    # Wide rows keep both forms.
+    wide = candidate_swizzles(16, 128)
+    assert Swizzle(1, 3, 1) in wide and Swizzle(1, 3, 3) in wide
+    assert Swizzle(3, 3, 3) in wide
+
+
 def test_swizzle_reduces_bank_conflicts_for_column_access():
     """The canonical case: a row-major 64x64 fp16 tile accessed by column."""
     from repro.synthesis.smem_solver import bank_conflict_factor
