@@ -4,19 +4,25 @@ Sweeps the three paper models (DeepSeek-R1-AWQ, Jamba-mini-1.7, Qwen-3-32B)
 x (hexcute, baseline) backends x the continuous-batching schedulers, playing
 one seeded workload per model through the discrete-event simulator, and
 reports throughput, p50/p95/p99 request latency, TTFT, SLO attainment and
-batch occupancy.
+batch occupancy.  A second sweep composes replicas into a
+**cluster** (replica count x routing policy over one bursty workload) and
+reports fleet throughput, tail latency, load imbalance and KV spread.
 
 It also measures **serving startup**: precompiling every decode batch
 bucket through ``repro.pipeline.compile_many`` with a cold compile cache
 versus a warm one (warm startup only verifies fingerprints; it must be at
 least 2x faster — it is orders of magnitude faster in practice).
 
-Three guards make this CI-able (``--smoke``): each sweep cell is simulated
-twice with identically seeded inputs and must produce bit-equal
-``ServeReport`` digests, the regenerated workload itself must be
-identical, and a **memory-pressure** run against a deliberately tight KV
+The guards that make this CI-able (``--smoke``): each sweep cell is
+simulated twice with identically seeded inputs and must produce bit-equal
+``ServeReport`` digests; the regenerated workload itself must be
+identical; a **memory-pressure** run against a deliberately tight KV
 block budget must report preemptions > 0 with KV utilization <= 1.0 and a
-bit-equal digest on a second run.  Any violation exits nonzero.
+bit-equal digest on a second run; every cluster cell must be digest-stable
+across two runs; a **single-replica cluster must be digest-identical to
+the bare simulator** under every routing policy; and under bursty load
+``least-loaded`` routing must not lose to ``round-robin`` on p99 latency.
+Any violation exits nonzero.
 
 Run with:  PYTHONPATH=src python benchmarks/bench_serving.py [--smoke]
 """
@@ -32,8 +38,12 @@ from repro.pipeline import CompileCache
 from repro.reporting import geometric_mean
 from repro.serving import (
     DEFAULT_BATCH_BUCKETS,
+    ClusterSimulator,
+    ROUTERS,
     ServingSimulator,
     StepLatencyModel,
+    bursty_workload,
+    format_cluster_reports,
     format_reports,
     make_workload,
 )
@@ -67,6 +77,14 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--requests", type=int, default=None, help="requests per cell")
     parser.add_argument("--rate-rps", type=float, default=None, help="arrival rate")
     parser.add_argument("--max-batch", type=int, default=None, help="max decode batch")
+    parser.add_argument(
+        "--replicas", default=None,
+        help="comma list of cluster sizes to sweep (default: 1,2 smoke / 1,2,4 full)",
+    )
+    parser.add_argument(
+        "--routers", default=",".join(sorted(ROUTERS)),
+        help=f"comma list of routing policies ({sorted(ROUTERS)})",
+    )
     parser.add_argument("--seed", type=int, default=0)
     return parser.parse_args(argv)
 
@@ -135,6 +153,87 @@ def run_memory_pressure_check(args, configs, step_model, num_requests: int, fail
             failures.append(f"memory-pressure run lost requests: {report.label()}")
         reports.append(report)
         print(report.summary())
+    return reports
+
+
+def cluster_workload(num_requests: int, seed: int) -> List:
+    """Bursty fleet traffic: recurring near-simultaneous bursts that
+    overflow one replica's batch slots, with exponentially distributed
+    output lengths so round-robin drifts out of balance."""
+    return bursty_workload(
+        num_requests=num_requests,
+        burst_size=16,
+        burst_interval_ms=2000.0,
+        mean_prompt_tokens=512,
+        mean_output_tokens=96,
+        seed=seed,
+    )
+
+
+def run_cluster_sweep(args, config, step_model, failures: List[str]):
+    """Replica-count x routing-policy sweep over one bursty workload, with
+    the digest-stability, single-replica-identity and least-loaded-vs-
+    round-robin p99 checks."""
+    routers = [r.strip() for r in args.routers.split(",") if r.strip()]
+    if args.replicas is not None:
+        replica_counts = [int(n) for n in args.replicas.split(",") if n.strip()]
+    else:
+        replica_counts = [1, 2] if args.smoke else [1, 2, 4]
+    num_requests = 32 if args.smoke else 64
+    workload = cluster_workload(num_requests, args.seed)
+
+    bare = ServingSimulator(
+        config, backend="hexcute", scheduler="fcfs", arch=args.arch,
+        max_batch_size=8, step_model=step_model,
+    )
+    bare_digest = bare.simulate(workload, workload="bursty").digest()
+
+    reports = []
+    p99 = {}
+    for replicas in replica_counts:
+        for router in routers:
+            def run():
+                cluster = ClusterSimulator(
+                    config,
+                    replicas=replicas,
+                    router=router,
+                    backend="hexcute",
+                    scheduler="fcfs",
+                    arch=args.arch,
+                    max_batch_size=8,
+                    step_model=step_model,
+                    seed=args.seed,
+                )
+                return cluster.simulate(workload, workload="bursty")
+
+            report = run()
+            if report.digest() != run().digest():
+                failures.append(f"nondeterministic cluster serve: {report.label()}")
+            if report.num_requests != len(workload):
+                failures.append(f"cluster lost requests: {report.label()}")
+            if replicas == 1 and report.digest() != bare_digest:
+                failures.append(
+                    f"1-replica cluster not bit-identical to the bare simulator "
+                    f"under {router!r} routing"
+                )
+            reports.append(report)
+            p99[(replicas, router)] = report.latency_percentile_ms(99)
+            print(report.summary())
+
+    check_at = max(n for n in replica_counts if n > 1) if any(
+        n > 1 for n in replica_counts
+    ) else None
+    if check_at and {"least-loaded", "round-robin"} <= set(routers):
+        ll, rr = p99[(check_at, "least-loaded")], p99[(check_at, "round-robin")]
+        print(
+            f"\np99 under bursty load at {check_at} replicas: "
+            f"least-loaded {ll:.0f} ms vs round-robin {rr:.0f} ms"
+        )
+        if ll > rr:
+            failures.append(
+                f"least-loaded routing lost to round-robin on p99 under bursty "
+                f"load ({ll:.0f} ms vs {rr:.0f} ms at {check_at} replicas)"
+            )
     return reports
 
 
@@ -222,6 +321,20 @@ def main(argv=None) -> int:
         format_reports(
             f"Memory pressure: tight KV budget, max batch 8 ({args.arch})",
             pressure_reports,
+        )
+    )
+
+    # ------------------------------------------------------------------ #
+    # Cluster: replica count x routing policy over bursty fleet traffic.
+    # ------------------------------------------------------------------ #
+    print()
+    cluster_reports = run_cluster_sweep(args, configs[0], warm_model, failures)
+    print()
+    print(
+        format_cluster_reports(
+            f"Cluster: bursty x{32 if args.smoke else 64}, "
+            f"{configs[0].name}, max batch 8/replica ({args.arch})",
+            cluster_reports,
         )
     )
 

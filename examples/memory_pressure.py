@@ -87,6 +87,11 @@ def main():
         "directions here.  The policy trade-off is only visible because blocks, "
         "not slots, are the binding constraint."
     )
+    print(
+        "\nThe KV block budget, preemption order and recompute-on-readmit "
+        "semantics shown here are documented in docs/serving.md (section "
+        "'The KV-cache memory model')."
+    )
 
 
 if __name__ == "__main__":

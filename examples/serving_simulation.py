@@ -60,6 +60,11 @@ def main():
         f"SLO attainment: {winner.scheduler} wins on this workload — scheduling is "
         "workload-dependent (EDF helps under steady overload, see bench_serving.py)"
     )
+    print(
+        "\nThe simulator loop, scheduler policies and determinism contract this "
+        "walk relies on are documented in docs/serving.md (sections 'The "
+        "discrete-event engine' and 'Scheduling policies')."
+    )
 
 
 if __name__ == "__main__":

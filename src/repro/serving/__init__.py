@@ -5,8 +5,9 @@ traffic-level system (the vLLM-integration story of Fig. 13, at serving
 scale): seeded workload generators feed a deterministic discrete-event
 engine whose decode-step latencies come from a memoized, batch-bucketed
 :class:`StepLatencyModel` that precompiles its buckets through
-``repro.pipeline.compile_many``, and whose admissions are bounded by a
-vLLM-style KV-cache block budget.
+``repro.pipeline.compile_many``, whose admissions are bounded by a
+vLLM-style KV-cache block budget, and whose replicas compose into a
+multi-replica cluster behind pluggable request routers.
 
 * :mod:`repro.serving.workload` — ``Request``/``RequestQueue`` and the
   steady / bursty / heavy-tail / memory-pressure generators;
@@ -19,12 +20,38 @@ vLLM-style KV-cache block budget.
 * :mod:`repro.serving.step_model` — the (config, backend, batch) -> step
   latency provider shared with ``e2e.decode_latency``;
 * :mod:`repro.serving.simulator` — the discrete-event engine (admission,
-  block growth, preemption with recompute-on-readmit);
+  block growth, preemption with recompute-on-readmit), steppable as
+  ``ReplicaEngine`` so the cluster can interleave replicas;
+* :mod:`repro.serving.router` — round-robin / least-loaded / kv-aware /
+  power-of-two-choices request routing over read-only replica snapshots;
+* :mod:`repro.serving.cluster` — ``ClusterSimulator``: N replicas behind
+  one router, with the fleet-level ``ClusterReport``;
 * :mod:`repro.serving.report` — percentiles, SLO attainment, preemption /
   KV-utilization counters and the bit-exact ``ServeReport`` digest the CI
   determinism check relies on.
+
+**Determinism contract.** Every layer here is deterministic: workload
+generators draw from a private ``random.Random(seed)``, schedulers and
+routers break ties on request/replica ids (the one randomized router
+reseeds a private RNG per run), block accounting is integer arithmetic,
+and step latencies are memoized analytical results.  Two runs of the same
+seeded workload therefore produce bit-identical ``ServeReport`` /
+``ClusterReport`` digests — CI enforces this.
+
+**Digest compatibility.** ``ServeReport.digest()`` hashes only the
+per-request trace (plus run identity), so a feature that does not perturb
+the trace must not perturb the digest: a KV-budget run that never hits
+the budget is bit-identical to ``kv_memory=False``, and a single-replica
+cluster is bit-identical to the bare ``ServingSimulator`` under every
+routing policy.  See ``docs/serving.md``.
 """
 
+from repro.serving.cluster import (
+    ClusterReport,
+    ClusterSimulator,
+    format_cluster_reports,
+    simulate_cluster,
+)
 from repro.serving.memory import (
     DEFAULT_HBM_UTILIZATION,
     DEFAULT_KV_BLOCK_TOKENS,
@@ -35,6 +62,16 @@ from repro.serving.memory import (
     weight_bytes,
 )
 from repro.serving.report import RequestMetrics, ServeReport, format_reports, percentile
+from repro.serving.router import (
+    KvAwareRouter,
+    LeastLoadedRouter,
+    PowerOfTwoRouter,
+    ROUTERS,
+    ReplicaSnapshot,
+    RoundRobinRouter,
+    Router,
+    get_router,
+)
 from repro.serving.scheduler import (
     FcfsScheduler,
     MaxBatchScheduler,
@@ -45,7 +82,7 @@ from repro.serving.scheduler import (
     SloScheduler,
     get_scheduler,
 )
-from repro.serving.simulator import ServingSimulator, simulate
+from repro.serving.simulator import ReplicaEngine, ServingSimulator, simulate
 from repro.serving.step_model import (
     DEFAULT_BATCH_BUCKETS,
     PrecompileStats,
@@ -65,18 +102,28 @@ from repro.serving.workload import (
 )
 
 __all__ = [
+    "ClusterReport",
+    "ClusterSimulator",
     "DEFAULT_BATCH_BUCKETS",
     "DEFAULT_HBM_UTILIZATION",
     "DEFAULT_KV_BLOCK_TOKENS",
     "FcfsScheduler",
+    "KvAwareRouter",
     "KvBlockManager",
     "KvMemoryView",
+    "LeastLoadedRouter",
     "MaxBatchScheduler",
     "MemoryAwareScheduler",
+    "PowerOfTwoRouter",
     "PrecompileStats",
+    "ROUTERS",
+    "ReplicaEngine",
+    "ReplicaSnapshot",
     "Request",
     "RequestMetrics",
     "RequestQueue",
+    "RoundRobinRouter",
+    "Router",
     "RunningInfo",
     "SCHEDULERS",
     "Scheduler",
@@ -86,7 +133,9 @@ __all__ = [
     "StepLatencyModel",
     "WORKLOADS",
     "bursty_workload",
+    "format_cluster_reports",
     "format_reports",
+    "get_router",
     "get_scheduler",
     "heavy_tail_workload",
     "kv_budget_blocks",
@@ -97,6 +146,7 @@ __all__ = [
     "percentile",
     "shared_step_model",
     "simulate",
+    "simulate_cluster",
     "steady_workload",
     "weight_bytes",
 ]

@@ -1,0 +1,396 @@
+"""The multi-replica cluster simulator: N replicas behind one router.
+
+``kv_budget_blocks()`` already shards a model's weights at
+``tensor_parallel`` — one :class:`~repro.serving.simulator.ServingSimulator`
+is one tensor-parallel *replica*.  This module composes N of them into a
+fleet the way a production serving frontend does: every arriving request
+is routed to exactly one replica by a pluggable policy
+(:mod:`repro.serving.router`), each replica runs its own continuous
+batching loop with its own KV block budget and scheduler, and the step
+models share the process-wide compile cache so fleet startup compiles each
+kernel shape once.
+
+**How the interleaving works.** Replicas are independent once a request is
+assigned, but routing needs each replica's *live* state at the request's
+arrival time.  The cluster therefore processes requests in global arrival
+order: before routing a request arriving at ``t`` it advances every
+replica engine (:class:`~repro.serving.simulator.ReplicaEngine`) until its
+clock passes ``t``, snapshots them
+(:class:`~repro.serving.router.ReplicaSnapshot`), asks the router, and
+injects the request into the chosen replica's queue.  While advancing, the
+engines are told the global next unrouted arrival time and that more
+traffic is pending, so time-based scheduler deferrals and ``max-batch``'s
+flush-on-last-arrival behave exactly as they would with full knowledge of
+the replica's eventual workload.  After the last request is routed, every
+replica drains to completion.
+
+**Determinism and the equivalence gate.** Routing is deterministic
+(:mod:`repro.serving.router`), each replica engine is deterministic, and
+replicas do not interact after assignment — so a cluster run is bit-exact
+reproducible, and :meth:`ClusterReport.digest` is stable across runs.  A
+**single-replica cluster is bit-identical to the bare simulator** under
+every routing policy: all routers must pick the only replica, the engine
+sees the same request sequence at the same loop boundaries, and
+``ClusterReport.digest()`` of a 1-replica fleet is *defined* as that
+replica's ``ServeReport.digest()`` — so the gate in
+``tests/test_serving.py`` (and ``benchmarks/bench_serving.py --smoke``) is
+a literal digest equality, the same shape as the KV model's
+infinite-budget equivalence check.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.reporting.tables import TableRow, format_table
+from repro.serving.report import RequestMetrics, ServeReport, percentile
+from repro.serving.router import ReplicaSnapshot, Router, get_router
+from repro.serving.scheduler import Scheduler
+from repro.serving.simulator import ReplicaEngine, ServingSimulator
+from repro.serving.step_model import PrecompileStats, StepLatencyModel, shared_step_model
+from repro.serving.workload import Request
+from repro.sim.arch import DEFAULT_EVAL_ARCH
+
+__all__ = [
+    "ClusterReport",
+    "ClusterSimulator",
+    "format_cluster_reports",
+    "simulate_cluster",
+]
+
+
+@dataclass
+class ClusterReport:
+    """Aggregate outcome of one simulated fleet serve.
+
+    Carries the per-replica :class:`ServeReport`\\ s plus fleet-level
+    rollups: combined throughput and latency/TTFT percentiles, SLO
+    attainment, total preemptions, the spread of per-replica KV peak
+    utilization, and a load-imbalance coefficient (population coefficient
+    of variation of per-replica generated tokens — 0.0 is a perfectly
+    balanced fleet).
+    """
+
+    model: str
+    backend: str
+    scheduler: str
+    router: str
+    workload: str
+    arch: str
+    num_replicas: int
+    replicas: List[ServeReport] = field(default_factory=list, repr=False)
+    # request_id -> replica index, as routed.
+    assignments: Dict[int, int] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def requests(self) -> List[RequestMetrics]:
+        """Every completed request across the fleet, by request id.
+
+        Cached: a report is immutable once built, and the percentile /
+        duration / SLO properties all derive from this merge.
+        """
+        merged = [m for report in self.replicas for m in report.requests]
+        merged.sort(key=lambda m: m.request_id)
+        return merged
+
+    @property
+    def num_requests(self) -> int:
+        return sum(r.num_requests for r in self.replicas)
+
+    @property
+    def total_output_tokens(self) -> int:
+        return sum(r.total_output_tokens for r in self.replicas)
+
+    @property
+    def preemptions(self) -> int:
+        return sum(r.preemptions for r in self.replicas)
+
+    @property
+    def duration_ms(self) -> float:
+        """Fleet makespan: first arrival to last finish, across replicas."""
+        finished = self.requests
+        if not finished:
+            return 0.0
+        return max(m.finish_ms for m in finished) - min(m.arrival_ms for m in finished)
+
+    @property
+    def throughput_tok_s(self) -> float:
+        """Fleet-generated tokens per second of simulated wall time."""
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.total_output_tokens / (self.duration_ms / 1000.0)
+
+    def latency_percentile_ms(self, pct: float) -> float:
+        return percentile([m.latency_ms for m in self.requests], pct)
+
+    def ttft_percentile_ms(self, pct: float) -> float:
+        return percentile([m.ttft_ms for m in self.requests], pct)
+
+    @property
+    def slo_attainment(self) -> float:
+        finished = self.requests
+        if not finished:
+            return 1.0
+        return sum(1 for m in finished if m.slo_met) / len(finished)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Step-weighted mean decode batch across the fleet."""
+        steps = sum(r.steps for r in self.replicas)
+        if not steps:
+            return 0.0
+        return sum(r.mean_batch_size * r.steps for r in self.replicas) / steps
+
+    @property
+    def kv_utilization_spread(self) -> float:
+        """Max minus min per-replica KV *peak* utilization (0 if untracked)."""
+        tracked = [r.kv_peak_utilization for r in self.replicas if r.kv_total_blocks]
+        if not tracked:
+            return 0.0
+        return max(tracked) - min(tracked)
+
+    @property
+    def load_imbalance(self) -> float:
+        """Population coefficient of variation of per-replica output tokens.
+
+        0.0 means every replica generated the same token count; round-robin
+        under heterogeneous request lengths drifts well above 0, and a
+        load-aware router should pull it back down.
+        """
+        tokens = [float(r.total_output_tokens) for r in self.replicas]
+        mean = sum(tokens) / len(tokens)
+        if mean <= 0:
+            return 0.0
+        variance = sum((t - mean) ** 2 for t in tokens) / len(tokens)
+        return (variance ** 0.5) / mean
+
+    # ------------------------------------------------------------------ #
+    def digest(self) -> str:
+        """A bit-exact content hash of the fleet outcome.
+
+        A single-replica cluster digests as its replica's plain
+        :meth:`ServeReport.digest` — that replica's trace *is* the whole
+        outcome — which makes the cluster-vs-bare-simulator equivalence
+        gate a literal digest equality.  Multi-replica fleets hash the
+        router, the routing assignment and every replica's digest.
+        """
+        if len(self.replicas) == 1:
+            return self.replicas[0].digest()
+        payload = {
+            "router": self.router,
+            "workload": self.workload,
+            "assignments": sorted(self.assignments.items()),
+            "replicas": [r.digest() for r in self.replicas],
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        return f"{self.model} / {self.backend} / {self.num_replicas}x{self.scheduler} / {self.router}"
+
+    def to_row(self) -> TableRow:
+        return TableRow(
+            self.label(),
+            {
+                "tok/s": self.throughput_tok_s,
+                "p50 (ms)": self.latency_percentile_ms(50),
+                "p95 (ms)": self.latency_percentile_ms(95),
+                "p99 (ms)": self.latency_percentile_ms(99),
+                "ttft p95": self.ttft_percentile_ms(95),
+                "slo %": self.slo_attainment * 100.0,
+                "preempt": float(self.preemptions),
+                "imbalance": self.load_imbalance,
+                "kv spread": self.kv_utilization_spread,
+            },
+        )
+
+    def summary(self) -> str:
+        text = (
+            f"{self.label()}: {self.num_requests} requests, "
+            f"{self.total_output_tokens} tokens in {self.duration_ms / 1000.0:.2f} s "
+            f"({self.throughput_tok_s:.1f} tok/s fleet), "
+            f"p50/p95/p99 latency {self.latency_percentile_ms(50):.0f}/"
+            f"{self.latency_percentile_ms(95):.0f}/{self.latency_percentile_ms(99):.0f} ms, "
+            f"SLO attainment {self.slo_attainment * 100.0:.1f}%, "
+            f"imbalance {self.load_imbalance:.2f}"
+        )
+        if self.preemptions:
+            text += f", {self.preemptions} preemptions"
+        return text
+
+
+CLUSTER_COLUMNS = [
+    "tok/s", "p50 (ms)", "p95 (ms)", "p99 (ms)", "ttft p95", "slo %",
+    "preempt", "imbalance", "kv spread",
+]
+
+
+def format_cluster_reports(title: str, reports: Sequence[ClusterReport]) -> str:
+    """Render a sweep of cluster reports as the standard benchmark table."""
+    return format_table(title, CLUSTER_COLUMNS, [report.to_row() for report in reports])
+
+
+class ClusterSimulator:
+    """N continuous-batching replicas behind one request router.
+
+    Every replica is a full :class:`ServingSimulator` — its own scheduler
+    instance, KV block budget and batch-slot count — and all replicas
+    share one :class:`StepLatencyModel` (the process-wide shared model for
+    ``arch`` by default), so the fleet compiles each kernel shape once and
+    the per-step latencies are memo hits across replicas.
+
+    ``kv_budget_blocks`` accepts a single count (every replica gets the
+    same pool), a sequence of per-replica counts (a heterogeneous fleet),
+    or ``None`` to derive each replica's real capacity from the model and
+    architecture.  ``seed`` feeds the router's private RNG (only
+    ``power-of-two-choices`` uses it); everything else is deterministic.
+
+    ``scheduler`` may be a policy name (each replica gets a fresh
+    instance) or a :class:`Scheduler` instance (shared — safe because
+    schedulers hold no per-run mutable state).
+    """
+
+    def __init__(
+        self,
+        model_config,
+        replicas: int = 2,
+        router: Union[str, Router] = "round-robin",
+        backend: str = "hexcute",
+        scheduler: Union[str, Scheduler] = "fcfs",
+        arch=DEFAULT_EVAL_ARCH,
+        max_batch_size: int = 32,
+        prefill_parallelism: float = 8.0,
+        step_model: Optional[StepLatencyModel] = None,
+        seed: int = 0,
+        kv_memory: bool = True,
+        kv_budget_blocks: Union[int, Sequence[int], None] = None,
+        **replica_kwargs,
+    ):
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        if isinstance(kv_budget_blocks, (list, tuple)):
+            if len(kv_budget_blocks) != replicas:
+                raise ValueError(
+                    f"kv_budget_blocks has {len(kv_budget_blocks)} entries "
+                    f"for {replicas} replicas"
+                )
+            budgets = list(kv_budget_blocks)
+        else:
+            budgets = [kv_budget_blocks] * replicas
+        self.router = get_router(router)
+        self.seed = seed
+        if step_model is None:
+            step_model = shared_step_model(arch)
+        self.step_model = step_model
+        self.replicas: List[ServingSimulator] = [
+            ServingSimulator(
+                model_config,
+                backend=backend,
+                scheduler=scheduler,
+                arch=arch,
+                max_batch_size=max_batch_size,
+                prefill_parallelism=prefill_parallelism,
+                step_model=step_model,
+                kv_memory=kv_memory,
+                kv_budget_blocks=budgets[index],
+                **replica_kwargs,
+            )
+            for index in range(replicas)
+        ]
+        self.model_config = model_config
+        self.backend = backend
+        self.arch = self.replicas[0].arch
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.replicas)
+
+    # ------------------------------------------------------------------ #
+    def precompile(self) -> PrecompileStats:
+        """Fleet startup: one replica's buckets — the step model is shared,
+        so every other replica starts warm for free."""
+        return self.replicas[0].precompile()
+
+    # ------------------------------------------------------------------ #
+    def _snapshot(self, index: int, engine: ReplicaEngine) -> ReplicaSnapshot:
+        manager = engine.manager
+        return ReplicaSnapshot(
+            replica_id=index,
+            now_ms=engine.now,
+            waiting=engine.assigned - len(engine.running),
+            running=len(engine.running),
+            max_batch_size=engine.sim.max_batch_size,
+            kv_total_blocks=manager.total_blocks if manager is not None else 0,
+            kv_free_blocks=manager.free_blocks if manager is not None else 0,
+            kv_reserved_blocks=engine.kv_reserved_blocks,
+            preemptions=engine.preemptions,
+            finished=len(engine.finished),
+        )
+
+    def simulate(self, requests: Sequence[Request], workload: str = "custom") -> ClusterReport:
+        """Route ``requests`` across the fleet and play every replica out."""
+        ordered = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
+        engines = [
+            ReplicaEngine(sim, replica_id=index)
+            for index, sim in enumerate(self.replicas)
+        ]
+        self.router.reset(len(engines), seed=self.seed)
+        assignments: Dict[int, int] = {}
+        for request in ordered:
+            arrival = request.arrival_ms
+            # Advance every replica as far as this arrival allows so the
+            # router sees state as of the arrival, not launch time.  A
+            # replica may overshoot (a decode step crossing the arrival)
+            # or stop short (idle/blocked — its clock then reads its last
+            # event, but nothing about it can change before new input) —
+            # both are exactly the states the monolithic loop would be in
+            # at this time.
+            for engine in engines:
+                while engine.now < arrival and engine.advance(
+                    external_next_arrival_ms=arrival, external_pending=True
+                ):
+                    pass
+            snapshots = [
+                self._snapshot(index, engine) for index, engine in enumerate(engines)
+            ]
+            choice = self.router.route(request, snapshots)
+            if not isinstance(choice, int) or not 0 <= choice < len(engines):
+                raise RuntimeError(
+                    f"router {self.router.name!r} picked replica {choice!r} "
+                    f"out of {len(engines)} replicas"
+                )
+            assignments[request.request_id] = choice
+            engines[choice].inject(request)
+        for engine in engines:
+            while engine.advance():
+                pass
+        reports = [engine.report(workload) for engine in engines]
+        return ClusterReport(
+            model=self.model_config.name,
+            backend=self.backend,
+            scheduler=self.replicas[0].scheduler.name,
+            router=self.router.name,
+            workload=workload,
+            arch=self.arch.name,
+            num_replicas=len(self.replicas),
+            replicas=reports,
+            assignments=assignments,
+        )
+
+
+def simulate_cluster(
+    model_config,
+    requests: Sequence[Request],
+    replicas: int = 2,
+    router: Union[str, Router] = "round-robin",
+    workload: str = "custom",
+    **kwargs,
+) -> ClusterReport:
+    """One-shot convenience wrapper around :class:`ClusterSimulator`."""
+    cluster = ClusterSimulator(model_config, replicas=replicas, router=router, **kwargs)
+    return cluster.simulate(requests, workload=workload)

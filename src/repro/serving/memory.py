@@ -21,8 +21,15 @@ simulator that constraint, vLLM-style:
   memory-aware policy can order admissions by block cost without being
   able to mutate the accounting.
 
-Everything is integer block arithmetic on deterministic inputs, so the
-accounting adds no nondeterminism to the simulator.
+**Determinism contract.** Everything is integer block arithmetic on
+deterministic inputs, so the accounting adds no nondeterminism to the
+simulator.
+
+**Digest compatibility.** The budget only ever *removes* admissions or
+*adds* preemptions; a run that never touches either limit executes the
+exact slot-only trace, which is why an infinite budget (or light traffic
+against the real one) is bit-identical — digest-equal — to
+``kv_memory=False``.  Tests assert this per scheduler and workload.
 """
 
 from __future__ import annotations

@@ -1,0 +1,227 @@
+"""Pluggable request routers for the multi-replica cluster simulator.
+
+A :class:`~repro.serving.cluster.ClusterSimulator` fronts N independent
+replica engines with one router: every arriving request is shown the
+current :class:`ReplicaSnapshot` of each replica (queue depth, batch
+occupancy, free KV blocks, preemptions so far) and the router picks which
+replica serves it.  Routing policy is as perf-critical as batch
+composition — a router that stacks marathon generations on one replica
+wrecks tail latency no matter how good that replica's scheduler is.  Four
+policies are provided:
+
+* :class:`RoundRobinRouter` — cycle through replicas in id order; the
+  stateless baseline every serving frontend ships;
+* :class:`LeastLoadedRouter` — send the request to the replica with the
+  fewest outstanding requests (waiting + running), the classic
+  join-shortest-queue policy;
+* :class:`KvAwareRouter` — send the request to the replica with the most
+  free KV-cache blocks net of commitments (total blocks minus the
+  worst-case demand already assigned to the replica), falling back to the
+  fewest preemptions so far (then least loaded): balances *memory*
+  headroom rather than request count, which is what actually decides
+  preemptions under long-context traffic.  With the KV model disabled it
+  degrades to least-loaded;
+* :class:`PowerOfTwoRouter` — power-of-two-choices: sample two distinct
+  replicas from a private seeded RNG and keep the less loaded.  Nearly
+  the balance of join-shortest-queue at a fraction of the state
+  inspection, and the standard randomized-routing reference point.
+
+**Determinism contract.** Routers are deterministic: ties break on
+``replica_id``, and the only randomness (:class:`PowerOfTwoRouter`) comes
+from a private ``random.Random`` reseeded by :meth:`Router.reset` at the
+start of every cluster run — so two simulations of the same seeded
+workload route identically and the cluster's digest is bit-stable.
+Routers must pick a replica from the snapshot list as-is; they never see
+or mutate engine state.
+
+Like schedulers, routers are registered by name (:data:`ROUTERS`,
+resolved by :func:`get_router`) and the documented policy tables in
+``docs/serving.md`` are checked against this registry by
+``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Type, Union
+
+from repro.serving.workload import Request
+
+__all__ = [
+    "KvAwareRouter",
+    "LeastLoadedRouter",
+    "PowerOfTwoRouter",
+    "ROUTERS",
+    "ReplicaSnapshot",
+    "RoundRobinRouter",
+    "Router",
+    "get_router",
+]
+
+
+@dataclass(frozen=True)
+class ReplicaSnapshot:
+    """A read-only view of one replica at a routing decision.
+
+    ``waiting`` counts every request assigned to the replica that is not
+    currently running (queued-for-arrival plus the scheduler's waiting
+    set), so ``load`` is the replica's total outstanding work.
+    ``kv_free_blocks`` is the pool's *instantaneous* headroom (blocks not
+    currently held); ``kv_reserved_blocks`` is the worst-case demand of
+    every outstanding request at its full context length — the number a
+    memory-balancing router actually wants, since queued requests hold no
+    blocks yet.  Both (and ``kv_total_blocks``) are 0 when the replica's
+    KV memory model is disabled.
+    """
+
+    replica_id: int
+    now_ms: float
+    waiting: int
+    running: int
+    max_batch_size: int
+    kv_total_blocks: int
+    kv_free_blocks: int
+    kv_reserved_blocks: int
+    preemptions: int
+    finished: int
+
+    @property
+    def load(self) -> int:
+        """Outstanding requests: queue depth plus the running batch."""
+        return self.waiting + self.running
+
+    @property
+    def kv_unreserved_blocks(self) -> int:
+        """Blocks not yet spoken for by any outstanding request's worst
+        case — may go negative on an oversubscribed replica."""
+        return self.kv_total_blocks - self.kv_reserved_blocks
+
+
+class Router:
+    """Request-routing policy of one replica cluster."""
+
+    name = "base"
+
+    def reset(self, num_replicas: int, seed: int = 0) -> None:
+        """Called once at the start of every cluster run.
+
+        Stateful policies (round-robin's cursor, power-of-two's RNG) must
+        reinitialize here so repeated ``simulate()`` calls on one cluster
+        are independent and bit-identical.
+        """
+
+    def route(self, request: Request, replicas: List[ReplicaSnapshot]) -> int:
+        """The ``replica_id`` that should serve ``request``.
+
+        ``replicas`` holds one snapshot per replica, in id order.  Each
+        reflects the replica's state *as of the request's arrival*: the
+        cluster advances every engine until its clock passes the arrival
+        or it can make no further progress — an idle or blocked replica's
+        ``now_ms`` therefore reads its last event time (possibly well
+        before the arrival), but its state cannot change before new input
+        arrives, so the counts and block figures are current either way.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class RoundRobinRouter(Router):
+    """Cycle through replicas in id order, one request each."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._cursor = 0
+
+    def reset(self, num_replicas: int, seed: int = 0) -> None:
+        self._cursor = 0
+
+    def route(self, request, replicas):
+        choice = replicas[self._cursor % len(replicas)].replica_id
+        self._cursor += 1
+        return choice
+
+
+class LeastLoadedRouter(Router):
+    """Join the shortest queue: fewest outstanding requests wins."""
+
+    name = "least-loaded"
+
+    def route(self, request, replicas):
+        return min(replicas, key=lambda s: (s.load, s.replica_id)).replica_id
+
+
+class KvAwareRouter(Router):
+    """Most unreserved KV blocks first, then fewest preemptions, then load.
+
+    Request count is a poor proxy for memory pressure — one marathon
+    context can pin more blocks than a dozen short chats — so this policy
+    balances the resource that actually triggers preemptions.  It ranks
+    replicas by ``kv_unreserved_blocks`` (total pool minus the worst-case
+    demand of everything already assigned) rather than the instantaneous
+    ``kv_free_blocks``: a replica whose queue is stacked with marathons
+    looks free *now* but is committed, and routing into it buys a
+    preemption later.  Preemption count breaks ties toward the replica
+    whose pool has been calmest.  Without any KV budget (the memory model
+    disabled) it degrades to :class:`LeastLoadedRouter`.
+    """
+
+    name = "kv-aware"
+
+    def route(self, request, replicas):
+        if all(s.kv_total_blocks == 0 for s in replicas):
+            return min(replicas, key=lambda s: (s.load, s.replica_id)).replica_id
+        return min(
+            replicas,
+            key=lambda s: (-s.kv_unreserved_blocks, s.preemptions, s.load, s.replica_id),
+        ).replica_id
+
+
+class PowerOfTwoRouter(Router):
+    """Power-of-two-choices: two seeded random picks, keep the less loaded.
+
+    The classic result (Mitzenmacher): sampling just two queues and
+    joining the shorter one gets exponentially better balance than one
+    random pick, without inspecting the whole fleet.  The RNG is private
+    and reseeded per run, so routing is deterministic for a given seed.
+    """
+
+    name = "power-of-two-choices"
+
+    def __init__(self):
+        # The seed that matters is the one reset() receives at the start
+        # of every cluster run.
+        self._rng = random.Random(0)
+
+    def reset(self, num_replicas: int, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def route(self, request, replicas):
+        if len(replicas) == 1:
+            return replicas[0].replica_id
+        first, second = self._rng.sample(range(len(replicas)), 2)
+        return min(
+            (replicas[first], replicas[second]),
+            key=lambda s: (s.load, s.replica_id),
+        ).replica_id
+
+
+ROUTERS: Dict[str, Type[Router]] = {
+    RoundRobinRouter.name: RoundRobinRouter,
+    LeastLoadedRouter.name: LeastLoadedRouter,
+    KvAwareRouter.name: KvAwareRouter,
+    PowerOfTwoRouter.name: PowerOfTwoRouter,
+}
+
+
+def get_router(spec: Union[str, Router]) -> Router:
+    """Resolve a router from a policy name or pass an instance through."""
+    if isinstance(spec, Router):
+        return spec
+    try:
+        return ROUTERS[spec]()
+    except KeyError:
+        raise KeyError(f"unknown router {spec!r} (expected one of {sorted(ROUTERS)})")

@@ -32,8 +32,18 @@ memory-aware simulator drives:
   recompute-preemption order); ``slo`` preempts the latest deadline first
   and ``memory-aware`` the largest block holder first.
 
-Schedulers are deterministic: ties break on ``request_id``, and no policy
-consults wall-clock or random state.
+**Determinism contract.** Schedulers are deterministic: ties break on
+``request_id``, and no policy consults wall-clock or random state.
+Scheduler instances hold no per-run mutable state (constructor parameters
+like ``max_wait_ms`` only), so one instance may be shared across replicas
+and repeated runs — the cluster simulator relies on this.
+
+**Digest compatibility.** The simulator digests only the per-request
+trace, so a policy decision *is* observable: two schedulers that admit
+identically produce equal digests, and any behavioural change to a policy
+shows up in CI's digest checks.  ``select_memory``'s base implementation
+keeps the fitting *prefix* of ``select``'s choice, which is what keeps a
+``select``-only policy bit-identical under a never-exceeded KV budget.
 """
 
 from __future__ import annotations

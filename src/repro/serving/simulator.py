@@ -27,6 +27,15 @@ discrete-event loop modelled on vLLM's engine step:
 5. completed requests leave the batch, freeing their KV blocks and
    recording their finish time.
 
+The loop itself lives in :class:`ReplicaEngine`, the *steppable* form of
+the simulator: ``simulate()`` constructs an engine and drives it to
+completion, while the multi-replica :class:`~repro.serving.cluster.\
+ClusterSimulator` interleaves several engines in simulated-time order,
+injecting requests as its router assigns them.  One engine iteration
+(:meth:`ReplicaEngine.advance`) is exactly one iteration of the monolithic
+loop above, so a single-replica cluster is bit-identical to the bare
+simulator — the equivalence gate ``tests/test_serving.py`` enforces.
+
 The KV budget defaults to the replica's real capacity — the architecture's
 HBM (``GpuArch.hbm_gb``) times a utilization headroom, minus the sharded
 model weights, in :data:`~repro.serving.memory.DEFAULT_KV_BLOCK_TOKENS`-token
@@ -59,7 +68,7 @@ from repro.serving.step_model import PrecompileStats, StepLatencyModel, shared_s
 from repro.serving.workload import Request, RequestQueue
 from repro.sim.arch import DEFAULT_EVAL_ARCH, get_arch
 
-__all__ = ["ServingSimulator", "simulate"]
+__all__ = ["ReplicaEngine", "ServingSimulator", "simulate"]
 
 
 @dataclass
@@ -207,170 +216,279 @@ class ServingSimulator:
 
     def simulate(self, requests: Sequence[Request], workload: str = "custom") -> ServeReport:
         """Play ``requests`` through the engine and report the outcome."""
-        # Fresh block accounting per run, so repeated simulate() calls on
-        # one simulator are independent and bit-identical.
-        manager: Optional[KvBlockManager] = None
-        if self.kv_budget_blocks is not None:
-            manager = KvBlockManager(self.kv_budget_blocks, self.kv_block_tokens)
+        # Fresh engine (and block accounting) per run, so repeated
+        # simulate() calls on one simulator are independent and
+        # bit-identical.
+        engine = ReplicaEngine(self, requests)
+        while engine.advance():
+            pass
+        return engine.report(workload)
+
+
+class ReplicaEngine:
+    """The steppable form of one replica's continuous-batching loop.
+
+    :meth:`advance` executes exactly one iteration of the simulator's
+    discrete-event loop (pop arrivals → grow/preempt → admit → decode
+    step) and returns ``False`` once no further progress is possible
+    without external input.  ``ServingSimulator.simulate`` drives an
+    engine to completion; :class:`~repro.serving.cluster.ClusterSimulator`
+    drives several at once, interleaved in simulated-time order, and
+    :meth:`inject`\\ s each request into the replica its router picked.
+
+    The two ``external_*`` arguments exist for that cluster mode: a
+    replica's *local* arrival queue only holds the requests already routed
+    to it, so the cluster passes the global next unrouted arrival time
+    (folded into the idle-jump and deferral wake hints exactly like a
+    local arrival) and whether any unrouted traffic remains (folded into
+    the scheduler's ``more_arrivals``).  With both left at their defaults
+    the engine is the monolithic single-replica loop, bit for bit.
+    """
+
+    def __init__(self, sim: ServingSimulator, requests: Sequence[Request] = (), replica_id: int = 0):
+        self.sim = sim
+        self.replica_id = replica_id
+        self.manager: Optional[KvBlockManager] = None
+        self._reserved_blocks = 0
+        if sim.kv_budget_blocks is not None:
+            self.manager = KvBlockManager(sim.kv_budget_blocks, sim.kv_block_tokens)
             for request in requests:
-                full = manager.blocks_for(request.prompt_tokens + request.output_tokens)
-                if full > manager.total_blocks:
-                    raise ValueError(
-                        f"request {request.request_id} needs {full} KV blocks at full "
-                        f"context ({request.prompt_tokens}+{request.output_tokens} tokens) "
-                        f"but the replica budget is {manager.total_blocks} blocks"
-                    )
-
-        queue = RequestQueue(requests)
-        waiting: List[_ActiveRequest] = []
-        running: List[_ActiveRequest] = []
-        finished: List[RequestMetrics] = []
-
-        now = 0.0
-        steps = 0
-        batch_size_sum = 0
-        queue_depth_sum = 0
-        max_queue_depth = 0
-        preemptions = 0
-        kv_utilization_sum = 0.0
-
-        while len(queue) or waiting or running:
-            waiting.extend(_ActiveRequest(r) for r in queue.pop_arrived(now))
-            waiting.sort(key=lambda s: (s.request.arrival_ms, s.request.request_id))
-
-            if not waiting and not running:
-                # Fully idle: jump to the next arrival.
-                now = queue.next_arrival_ms
-                continue
-
-            # Grow the already-running requests first (preempting if the
-            # pool cannot cover the growth), then admit into what is left —
-            # so admission can never force the request it just admitted
-            # straight back out.
-            if manager is not None and running:
-                before = len(running)
-                running = self._grow_running(manager, running, waiting, now)
-                if len(running) != before:
-                    preemptions += before - len(running)
-                    waiting.sort(key=lambda s: (s.request.arrival_ms, s.request.request_id))
-
-            admitted = self.scheduler.select_memory(
-                [s.request for s in waiting],
-                running=len(running),
-                free_slots=self.max_batch_size - len(running),
-                now_ms=now,
-                more_arrivals=len(queue) > 0,
-                memory=manager.view() if manager is not None else None,
-            )
-            admitted_ids = {r.request_id for r in admitted}
-            if len(admitted_ids) > self.max_batch_size - len(running):
-                raise RuntimeError(
-                    f"scheduler {self.scheduler.name!r} admitted {len(admitted_ids)} "
-                    f"requests into {self.max_batch_size - len(running)} free slots"
+                self._check_fits_budget(request)
+                self._reserved_blocks += self.manager.blocks_for(
+                    request.prompt_tokens + request.output_tokens
                 )
-            joining = [s for s in waiting if s.request.request_id in admitted_ids]
-            waiting = [s for s in waiting if s.request.request_id not in admitted_ids]
-            for state in joining:
-                if state.scheduled_ms < 0:
-                    state.scheduled_ms = now
-                state.admitted_ms = now
-                if manager is not None:
-                    try:
-                        # The prompt plus the first decode token, mirroring
-                        # KvMemoryView.admission_blocks.
-                        manager.allocate(
-                            state.request.request_id, state.request.prompt_tokens + 1
-                        )
-                    except RuntimeError as exc:
-                        raise RuntimeError(
-                            f"scheduler {self.scheduler.name!r} admitted request "
-                            f"{state.request.request_id} beyond the KV budget: {exc}"
-                        ) from exc
-            running.extend(joining)
+        self.queue = RequestQueue(requests)
+        self.waiting: List[_ActiveRequest] = []
+        self.running: List[_ActiveRequest] = []
+        self.finished: List[RequestMetrics] = []
+        self.now = 0.0
+        self.steps = 0
+        self.batch_size_sum = 0
+        self.queue_depth_sum = 0
+        self.max_queue_depth = 0
+        self.preemptions = 0
+        self.kv_utilization_sum = 0.0
 
-            if not running:
-                # The scheduler deferred (e.g. max-batch waiting to fill, or
-                # nothing fits the KV pool) and nothing is in flight:
-                # advance to whichever comes first, the next arrival or the
-                # scheduler's own re-poll time (so a time-based deferral
-                # like max_wait_ms cannot be slept past).
-                hints = [
-                    queue.next_arrival_ms,
-                    self.scheduler.next_event_ms([s.request for s in waiting], now),
-                ]
-                wake = min((t for t in hints if t is not None and t > now), default=None)
-                if wake is not None:
-                    now = wake
-                    continue
-                raise RuntimeError(
-                    f"scheduler {self.scheduler.name!r} admitted nothing with "
-                    f"{len(waiting)} waiting requests and no future arrivals"
-                )
-
-            # One decode step for the whole batch, plus the prefill surcharge
-            # of the requests that joined this step.
-            batch = len(running)
-            step_ms = self.step_model.step_latency_ms(self.model_config, self.backend, batch)
-            prefill_tokens = sum(s.request.prompt_tokens for s in joining)
-            prefill_ms = (
-                prefill_tokens * (step_ms / batch) / self.prefill_parallelism
+    # ------------------------------------------------------------------ #
+    def _check_fits_budget(self, request: Request) -> None:
+        full = self.manager.blocks_for(request.prompt_tokens + request.output_tokens)
+        if full > self.manager.total_blocks:
+            raise ValueError(
+                f"request {request.request_id} needs {full} KV blocks at full "
+                f"context ({request.prompt_tokens}+{request.output_tokens} tokens) "
+                f"but the replica budget is {self.manager.total_blocks} blocks"
             )
-            now += step_ms + prefill_ms
-            steps += 1
-            batch_size_sum += batch
-            queue_depth_sum += len(waiting)
-            max_queue_depth = max(max_queue_depth, len(waiting))
+
+    def inject(self, request: Request) -> None:
+        """Hand this replica one more request (cluster routing).
+
+        The request is validated against the replica's KV budget exactly
+        like ``simulate()`` validates its whole workload up front.
+        """
+        if self.manager is not None:
+            self._check_fits_budget(request)
+            self._reserved_blocks += self.manager.blocks_for(
+                request.prompt_tokens + request.output_tokens
+            )
+        self.queue.push(request)
+
+    @property
+    def idle(self) -> bool:
+        """No queued, waiting or running work — the engine is drained."""
+        return not (len(self.queue) or self.waiting or self.running)
+
+    @property
+    def assigned(self) -> int:
+        """Requests this replica owns but has not finished."""
+        return len(self.queue) + len(self.waiting) + len(self.running)
+
+    @property
+    def kv_reserved_blocks(self) -> int:
+        """Worst-case KV demand of every outstanding request, in blocks.
+
+        Each assigned-but-unfinished request will eventually hold
+        ``blocks_for(prompt + output)`` blocks; the sum is the fleet
+        router's view of how committed this replica's pool already is
+        (a real deployment would use the request's ``max_tokens`` bound).
+        Maintained incrementally — add on assignment, subtract on finish;
+        preemption does not change it (the victim is still outstanding).
+        0 when the KV memory model is disabled.
+        """
+        return self._reserved_blocks
+
+    # ------------------------------------------------------------------ #
+    def advance(
+        self,
+        external_next_arrival_ms: Optional[float] = None,
+        external_pending: bool = False,
+    ) -> bool:
+        """Run one engine iteration; ``False`` when blocked or drained."""
+        if self.idle:
+            return False
+        sim = self.sim
+        manager = self.manager
+
+        self.waiting.extend(_ActiveRequest(r) for r in self.queue.pop_arrived(self.now))
+        self.waiting.sort(key=lambda s: (s.request.arrival_ms, s.request.request_id))
+
+        if not self.waiting and not self.running:
+            # Fully idle: jump to the next (local or external) arrival.
+            hints = [self.queue.next_arrival_ms, external_next_arrival_ms]
+            wake = min((t for t in hints if t is not None and t > self.now), default=None)
+            if wake is None:  # pragma: no cover - defensive; idle check above
+                return False
+            self.now = wake
+            return True
+
+        # Grow the already-running requests first (preempting if the
+        # pool cannot cover the growth), then admit into what is left —
+        # so admission can never force the request it just admitted
+        # straight back out.
+        if manager is not None and self.running:
+            before = len(self.running)
+            self.running = sim._grow_running(manager, self.running, self.waiting, self.now)
+            if len(self.running) != before:
+                self.preemptions += before - len(self.running)
+                self.waiting.sort(key=lambda s: (s.request.arrival_ms, s.request.request_id))
+
+        admitted = sim.scheduler.select_memory(
+            [s.request for s in self.waiting],
+            running=len(self.running),
+            free_slots=sim.max_batch_size - len(self.running),
+            now_ms=self.now,
+            more_arrivals=len(self.queue) > 0 or external_pending,
+            memory=manager.view() if manager is not None else None,
+        )
+        admitted_ids = {r.request_id for r in admitted}
+        if len(admitted_ids) > sim.max_batch_size - len(self.running):
+            raise RuntimeError(
+                f"scheduler {sim.scheduler.name!r} admitted {len(admitted_ids)} "
+                f"requests into {sim.max_batch_size - len(self.running)} free slots"
+            )
+        joining = [s for s in self.waiting if s.request.request_id in admitted_ids]
+        self.waiting = [s for s in self.waiting if s.request.request_id not in admitted_ids]
+        for state in joining:
+            if state.scheduled_ms < 0:
+                state.scheduled_ms = self.now
+            state.admitted_ms = self.now
             if manager is not None:
-                kv_utilization_sum += manager.utilization
-
-            still_running: List[_ActiveRequest] = []
-            for state in running:
-                state.tokens_done += 1
-                if state.first_token_ms < 0:
-                    state.first_token_ms = now
-                if state.done:
-                    if manager is not None:
-                        manager.release(state.request.request_id)
-                    finished.append(
-                        RequestMetrics(
-                            request_id=state.request.request_id,
-                            arrival_ms=state.request.arrival_ms,
-                            scheduled_ms=state.scheduled_ms,
-                            first_token_ms=state.first_token_ms,
-                            finish_ms=now,
-                            prompt_tokens=state.request.prompt_tokens,
-                            output_tokens=state.request.output_tokens,
-                            slo_ms=state.request.slo_ms,
-                        )
+                try:
+                    # The prompt plus the first decode token, mirroring
+                    # KvMemoryView.admission_blocks.
+                    manager.allocate(
+                        state.request.request_id, state.request.prompt_tokens + 1
                     )
-                else:
-                    still_running.append(state)
-            running = still_running
+                except RuntimeError as exc:
+                    raise RuntimeError(
+                        f"scheduler {sim.scheduler.name!r} admitted request "
+                        f"{state.request.request_id} beyond the KV budget: {exc}"
+                    ) from exc
+        self.running.extend(joining)
 
-        finished.sort(key=lambda m: m.request_id)
+        if not self.running:
+            # The scheduler deferred (e.g. max-batch waiting to fill, or
+            # nothing fits the KV pool) and nothing is in flight:
+            # advance to whichever comes first, the next arrival (local or
+            # external) or the scheduler's own re-poll time (so a
+            # time-based deferral like max_wait_ms cannot be slept past).
+            hints = [
+                self.queue.next_arrival_ms,
+                sim.scheduler.next_event_ms([s.request for s in self.waiting], self.now),
+                external_next_arrival_ms,
+            ]
+            wake = min((t for t in hints if t is not None and t > self.now), default=None)
+            if wake is not None:
+                self.now = wake
+                return True
+            if external_pending:
+                # Blocked: only a future injection can unblock this
+                # replica — hand control back to the cluster.
+                return False
+            raise RuntimeError(
+                f"scheduler {sim.scheduler.name!r} admitted nothing with "
+                f"{len(self.waiting)} waiting requests and no future arrivals"
+            )
+
+        # One decode step for the whole batch, plus the prefill surcharge
+        # of the requests that joined this step.
+        batch = len(self.running)
+        step_ms = sim.step_model.step_latency_ms(sim.model_config, sim.backend, batch)
+        prefill_tokens = sum(s.request.prompt_tokens for s in joining)
+        prefill_ms = (
+            prefill_tokens * (step_ms / batch) / sim.prefill_parallelism
+        )
+        self.now += step_ms + prefill_ms
+        self.steps += 1
+        self.batch_size_sum += batch
+        self.queue_depth_sum += len(self.waiting)
+        self.max_queue_depth = max(self.max_queue_depth, len(self.waiting))
+        if manager is not None:
+            self.kv_utilization_sum += manager.utilization
+
+        still_running: List[_ActiveRequest] = []
+        for state in self.running:
+            state.tokens_done += 1
+            if state.first_token_ms < 0:
+                state.first_token_ms = self.now
+            if state.done:
+                if manager is not None:
+                    manager.release(state.request.request_id)
+                    self._reserved_blocks -= manager.blocks_for(
+                        state.request.prompt_tokens + state.request.output_tokens
+                    )
+                self.finished.append(
+                    RequestMetrics(
+                        request_id=state.request.request_id,
+                        arrival_ms=state.request.arrival_ms,
+                        scheduled_ms=state.scheduled_ms,
+                        first_token_ms=state.first_token_ms,
+                        finish_ms=self.now,
+                        prompt_tokens=state.request.prompt_tokens,
+                        output_tokens=state.request.output_tokens,
+                        slo_ms=state.request.slo_ms,
+                    )
+                )
+            else:
+                still_running.append(state)
+        self.running = still_running
+        return True
+
+    # ------------------------------------------------------------------ #
+    def report(self, workload: str = "custom") -> ServeReport:
+        """The replica's :class:`ServeReport`; call once it is drained."""
+        if not self.idle:
+            raise RuntimeError(
+                f"replica {self.replica_id} still has {self.assigned} unfinished "
+                f"requests; drain the engine before reporting"
+            )
+        sim = self.sim
+        manager = self.manager
+        finished = sorted(self.finished, key=lambda m: m.request_id)
         first_arrival = min((m.arrival_ms for m in finished), default=0.0)
         return ServeReport(
-            model=self.model_config.name,
-            backend=self.backend,
-            scheduler=self.scheduler.name,
+            model=sim.model_config.name,
+            backend=sim.backend,
+            scheduler=sim.scheduler.name,
             workload=workload,
-            arch=self.arch.name,
+            arch=sim.arch.name,
             num_requests=len(finished),
             total_output_tokens=sum(m.output_tokens for m in finished),
-            duration_ms=now - first_arrival,
-            steps=steps,
-            mean_batch_size=batch_size_sum / steps if steps else 0.0,
-            mean_queue_depth=queue_depth_sum / steps if steps else 0.0,
-            max_queue_depth=max_queue_depth,
+            duration_ms=self.now - first_arrival,
+            steps=self.steps,
+            mean_batch_size=self.batch_size_sum / self.steps if self.steps else 0.0,
+            mean_queue_depth=self.queue_depth_sum / self.steps if self.steps else 0.0,
+            max_queue_depth=self.max_queue_depth,
             requests=finished,
-            preemptions=preemptions,
-            kv_block_tokens=self.kv_block_tokens if manager is not None else 0,
+            preemptions=self.preemptions,
+            kv_block_tokens=sim.kv_block_tokens if manager is not None else 0,
             kv_total_blocks=manager.total_blocks if manager is not None else 0,
             kv_peak_utilization=(
                 manager.peak_used_blocks / manager.total_blocks if manager is not None else 0.0
             ),
             mean_kv_utilization=(
-                kv_utilization_sum / steps if manager is not None and steps else 0.0
+                self.kv_utilization_sum / self.steps
+                if manager is not None and self.steps
+                else 0.0
             ),
         )
 

@@ -19,9 +19,12 @@ a continuous-batching engine is exercised with:
   budget, not the slot count — saturates the KV pool long before the batch
   slots).
 
-Every generator draws from a private ``random.Random(seed)``, so a given
-``(generator, parameters, seed)`` triple always produces the identical
-request list — the property the CI determinism check relies on.
+**Determinism contract.** Every generator draws from a private
+``random.Random(seed)``, so a given ``(generator, parameters, seed)``
+triple always produces the identical request list — the property every
+digest check downstream (simulator, cluster, CI smoke) relies on.
+Requests are immutable; arrival times are rounded to microseconds at
+generation so the trace serializes bit-exactly.
 """
 
 from __future__ import annotations
@@ -87,9 +90,34 @@ class RequestQueue:
     def __len__(self) -> int:
         return len(self._pending)
 
+    def __iter__(self):
+        """Iterate the pending requests in arrival order (read-only)."""
+        return iter(self._pending)
+
     @property
     def next_arrival_ms(self) -> Optional[float]:
         return self._pending[0].arrival_ms if self._pending else None
+
+    def push(self, request: Request) -> None:
+        """Insert one more request, keeping ``(arrival_ms, request_id)`` order.
+
+        The cluster simulator routes requests in global arrival order, so
+        injections normally append; an out-of-order insert falls back to a
+        re-sort rather than corrupting the queue.
+        """
+        key = (request.arrival_ms, request.request_id)
+        if not self._pending or key >= (
+            self._pending[-1].arrival_ms,
+            self._pending[-1].request_id,
+        ):
+            self._pending.append(request)
+        else:
+            self._pending = deque(
+                sorted(
+                    [*self._pending, request],
+                    key=lambda r: (r.arrival_ms, r.request_id),
+                )
+            )
 
     def pop_arrived(self, now_ms: float) -> List[Request]:
         """Remove and return every request with ``arrival_ms <= now_ms``."""

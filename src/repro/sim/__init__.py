@@ -1,7 +1,7 @@
 """The simulated GPU substrate standing in for real A100/H100 hardware:
 architecture specs, the kernel timing model and the functional executor."""
 
-from repro.sim.arch import GpuArch, A100, H100, DEFAULT_ARCH, get_arch
+from repro.sim.arch import GpuArch, A100, H100, DEFAULT_ARCH, fleet_size, get_arch
 from repro.sim.timing import (
     KernelTiming,
     estimate_kernel_latency,
@@ -15,6 +15,7 @@ __all__ = [
     "A100",
     "H100",
     "DEFAULT_ARCH",
+    "fleet_size",
     "get_arch",
     "KernelTiming",
     "estimate_kernel_latency",

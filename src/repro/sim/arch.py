@@ -12,6 +12,7 @@ on relative instruction efficiency, which the cost model captures.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -21,6 +22,7 @@ __all__ = [
     "H100",
     "DEFAULT_ARCH",
     "DEFAULT_EVAL_ARCH",
+    "fleet_size",
     "get_arch",
 ]
 
@@ -139,6 +141,30 @@ _ARCHS: Dict[str, GpuArch] = {
     "80": A100,
     "90": H100,
 }
+
+
+def fleet_size(
+    demand_gb: float,
+    arch=DEFAULT_EVAL_ARCH,
+    hbm_utilization: float = 0.9,
+) -> int:
+    """Smallest replica count whose aggregate usable HBM covers ``demand_gb``.
+
+    Each replica contributes ``hbm_gb × hbm_utilization`` decimal GB (the
+    same headroom convention as the serving layer's KV budget —
+    ``repro.serving.memory.DEFAULT_HBM_UTILIZATION``).  The serving layer
+    uses this to size a :class:`~repro.serving.cluster.ClusterSimulator`
+    fleet for a workload's aggregate memory demand (per-replica weights are
+    part of each replica's demand, so scale the weight term by the replica
+    count you are testing, or iterate).  Always at least 1.
+    """
+    if demand_gb < 0:
+        raise ValueError(f"demand_gb must be >= 0, got {demand_gb}")
+    if not 0.0 < hbm_utilization <= 1.0:
+        raise ValueError(f"hbm_utilization must be in (0, 1], got {hbm_utilization}")
+    gpu = get_arch(arch)
+    usable_gb = gpu.hbm_gb * hbm_utilization
+    return max(1, math.ceil(demand_gb / usable_gb))
 
 
 def get_arch(spec) -> GpuArch:

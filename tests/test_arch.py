@@ -2,7 +2,23 @@
 
 import pytest
 
-from repro.sim.arch import A100, DEFAULT_ARCH, DEFAULT_EVAL_ARCH, H100, get_arch
+from repro.sim.arch import A100, DEFAULT_ARCH, DEFAULT_EVAL_ARCH, H100, fleet_size, get_arch
+
+
+def test_fleet_size_covers_demand():
+    # One H100 replica contributes 80 GB x 0.9 = 72 usable GB.
+    assert fleet_size(0.0, "h100") == 1
+    assert fleet_size(72.0, "h100") == 1
+    assert fleet_size(72.1, "h100") == 2
+    assert fleet_size(700.0, "h100") == 10
+    # A tighter utilization headroom needs more replicas for the same demand.
+    assert fleet_size(72.0, "h100", hbm_utilization=0.5) == 2
+    with pytest.raises(ValueError):
+        fleet_size(-1.0, "h100")
+    with pytest.raises(ValueError):
+        fleet_size(10.0, "h100", hbm_utilization=0.0)
+    with pytest.raises(KeyError):
+        fleet_size(10.0, "mi300")
 
 
 def test_get_arch_resolves_all_spellings():

@@ -1,0 +1,99 @@
+"""Docs-consistency checks: the documentation may not drift from the tree.
+
+Two contracts, both cheap enough to run in the tier-1 suite (CI runs it
+on every push):
+
+1. **File references resolve.**  Every backticked file path in
+   ``README.md`` and ``docs/*.md`` (a single ``  `path/to/file.ext`  ``
+   span ending in a known source/config extension) must name a file that
+   exists.  Docs may spell paths from the repo root (``src/repro/...``,
+   ``benchmarks/...``), package-relative (``serving/memory.py``,
+   ``pipeline/cache.py``) or relative to the doc's own directory
+   (``architecture.md`` cross-links) — the resolver tries each base.
+
+2. **Policy names match the registries.**  The scheduler and router
+   tables in ``docs/serving.md`` must list exactly the names registered
+   in ``repro.serving.SCHEDULERS`` and ``repro.serving.ROUTERS`` — adding
+   a policy without documenting it (or documenting one that does not
+   exist) fails.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.serving import ROUTERS, SCHEDULERS
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DOCS = sorted((REPO_ROOT / "docs").glob("*.md")) + [REPO_ROOT / "README.md"]
+
+# A backticked span that is exactly one path-ish token with a file
+# extension we know how to resolve (spans carrying flags or prose, e.g.
+# `bench_compile_time.py --smoke`, are deliberately not matched).
+_FILE_REF = re.compile(r"`([A-Za-z0-9_.\-/]+\.(?:py|md|yml|yaml|json|toml|txt))`")
+
+# Bases a documented path may be spelled from, tried in order.
+_BASES = [
+    REPO_ROOT,
+    REPO_ROOT / "src",
+    REPO_ROOT / "src" / "repro",
+]
+
+
+def _references(doc: Path):
+    return sorted(set(_FILE_REF.findall(doc.read_text(encoding="utf-8"))))
+
+
+def test_docs_exist():
+    """The documentation suite itself is part of the contract."""
+    for required in ("README.md", "docs/architecture.md", "docs/serving.md",
+                     "docs/benchmarks.md"):
+        assert (REPO_ROOT / required).is_file(), f"missing {required}"
+    assert DOCS, "no documentation files found"
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=lambda d: d.name)
+def test_every_documented_file_reference_resolves(doc):
+    refs = _references(doc)
+    assert refs, f"{doc.name} references no files at all — wrong parse?"
+    missing = []
+    for ref in refs:
+        bases = _BASES + [doc.parent]
+        if not any((base / ref).is_file() for base in bases):
+            missing.append(ref)
+    assert not missing, (
+        f"{doc.relative_to(REPO_ROOT)} references files that do not exist: "
+        f"{missing}"
+    )
+
+
+def _table_names(text: str, heading: str):
+    """The backticked first-column keys of the table under ``heading``."""
+    section = text.split(heading, 1)
+    assert len(section) == 2, f"docs/serving.md lost its {heading!r} section"
+    body = section[1].split("\n## ", 1)[0]
+    return set(re.findall(r"^\| `([a-z0-9\-]+)` \|", body, flags=re.MULTILINE))
+
+
+def test_documented_scheduler_names_match_registry():
+    text = (REPO_ROOT / "docs" / "serving.md").read_text(encoding="utf-8")
+    documented = _table_names(text, "## Scheduling policies")
+    assert documented == set(SCHEDULERS), (
+        f"docs/serving.md scheduler table {sorted(documented)} != "
+        f"registered SCHEDULERS {sorted(SCHEDULERS)}"
+    )
+
+
+def test_documented_router_names_match_registry():
+    text = (REPO_ROOT / "docs" / "serving.md").read_text(encoding="utf-8")
+    documented = _table_names(text, "## Routing policies")
+    assert documented == set(ROUTERS), (
+        f"docs/serving.md router table {sorted(documented)} != "
+        f"registered ROUTERS {sorted(ROUTERS)}"
+    )
+
+
+def test_readme_states_the_tier1_verify_command():
+    text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "PYTHONPATH=src python -m pytest -x -q" in text
