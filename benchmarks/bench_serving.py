@@ -64,6 +64,13 @@ def parse_args(argv=None) -> argparse.Namespace:
         action="store_true",
         help="small CI workload: fewer requests, smaller batches, same checks",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile the simulator hot loop on one serve and print the top "
+        "functions (kernel compilation is warmed up first so the profile "
+        "shows the discrete-event loop, not the compiler)",
+    )
     parser.add_argument("--arch", default=DEFAULT_EVAL_ARCH, help="a100 or h100")
     parser.add_argument(
         "--models", default="deepseek,jamba,qwen", help=f"comma list of {sorted(MODELS)}"
@@ -237,8 +244,44 @@ def run_cluster_sweep(args, config, step_model, failures: List[str]):
     return reports
 
 
+def run_profile(args) -> int:
+    """cProfile one representative serve: where does a simulated second go?
+
+    This is the profile-first step of the simulator-scale work — the
+    numbers it surfaced (the per-step waiting-list sort, the per-step
+    request-list rebuilds, the O(holdings) pool scan) are what
+    ``tests/test_sim_scale.py`` and ``benchmarks/bench_sim_scale.py`` now
+    keep optimized.  Kernel compilation is forced before profiling starts
+    so the report shows the discrete-event loop, not the compiler.
+    """
+    import cProfile
+    import pstats
+
+    config = MODELS[args.models.split(",")[0].strip()]
+    num_requests = args.requests if args.requests is not None else 5000
+    max_batch = args.max_batch if args.max_batch is not None else 16
+    workload = build_workload(args, num_requests)
+    sim = ServingSimulator(
+        config, backend="hexcute", scheduler=args.schedulers.split(",")[0].strip(),
+        arch=args.arch, max_batch_size=max_batch,
+    )
+    for batch in range(1, max_batch + 1):  # compile/memoize outside the profile
+        sim.step_model.step_latency_ms(config, "hexcute", batch)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    report = sim.simulate(workload, workload=args.workload)
+    profiler.disable()
+    print(report.summary())
+    print()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(30)
+    return 0
+
+
 def main(argv=None) -> int:
     args = parse_args(argv)
+    if args.profile:
+        return run_profile(args)
     num_requests = args.requests if args.requests is not None else (24 if args.smoke else 64)
     max_batch = args.max_batch if args.max_batch is not None else (8 if args.smoke else 16)
     configs = [MODELS[name.strip()] for name in args.models.split(",") if name.strip()]

@@ -1,0 +1,362 @@
+"""Simulator-scale benchmark: the discrete-event core at 10k / 100k / 1M requests.
+
+This is the perf trajectory for the serving simulator *itself* — not the
+modeled GPU throughput, but how many requests the discrete-event loop can
+simulate per wall-clock second.  Every future serving feature (prefix
+caching, disaggregated prefill/decode, autoscaling) is evaluated on this
+loop, so its speed compounds across the roadmap.
+
+The sweep plays seeded diurnal/flash-crowd traffic (the non-stationary
+regime where deep queues build and drain, which is exactly what the
+hot-loop optimizations target) through a 32-layer dense config whose step
+latencies come from the shared compiled step model:
+
+* 10k tier — every scheduler, single replica;
+* 100k tier — fcfs + slo single replica, plus 2- and 4-replica clusters;
+* 1M tier — fcfs, single replica (the million-request headline run).
+
+Results land in ``BENCH_sim_scale.json`` (schema documented in
+``docs/benchmarks.md``): one entry per cell with the cell config, wall
+seconds, simulated-requests-per-second and the report digest, plus the
+recorded pre-optimization baseline so the speedup is tracked in-repo.
+
+The CI guards (``--smoke``): the 10k tier only; every cell is run twice
+and must produce bit-equal digests; the fcfs cell must clear a minimum
+requests-per-second floor (a catastrophic-regression tripwire, far below
+the measured rate); and the emitted JSON is validated against the schema.
+Any violation exits nonzero.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_sim_scale.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.e2e import ModelConfig
+from repro.serving import ClusterSimulator, ServingSimulator, diurnal_workload
+
+# The same 32-layer tiny-shape dense config the scale tests use: realistic
+# step latency (~0.35 ms at batch 16, ~1.1k simulated req/s of service
+# capacity) over kernel shapes the compile cache already knows.
+SIM_MODEL = ModelConfig(
+    name="sim-scale-dense",
+    num_layers=32,
+    hidden_size=256,
+    num_heads=4,
+    kv_len=256,
+    head_dim=64,
+    dense_ffn_layers=32,
+    ffn_intermediate=512,
+    weight_dtype="fp16",
+    tensor_parallel=1,
+)
+
+ARCH = "a100"
+MAX_BATCH = 16
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim_scale.json"
+SCHEMA_VERSION = 1
+
+# Pre-optimization loop, measured at this commit on the CI container class
+# before the hot-loop rework (per-step waiting sort, O(n) KV accounting,
+# replica-scan cluster stepping).  Kept in the emitted JSON so the speedup
+# at the 100k tier is tracked in-repo; see docs/benchmarks.md.
+BASELINE = {
+    "loop": "pre-optimization (PR 5)",
+    "rps": {
+        "10k/fcfs": 603.6,
+        "100k/fcfs": 152.2,
+    },
+}
+
+# Catastrophic-regression floor for the smoke fcfs cell, ~5x below the
+# measured optimized rate — a failed floor means an O(waiting) term is back
+# in the hot loop, not ordinary machine jitter.
+MIN_SMOKE_RPS = 2000.0
+
+TIER_REQUESTS = {"10k": 10_000, "100k": 100_000, "1m": 1_000_000}
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: 10k tier only, digest double-run, rps floor, schema check",
+    )
+    parser.add_argument(
+        "--tiers", default=None,
+        help="comma list of tiers to run (10k, 100k, 1m); default all (full mode)",
+    )
+    parser.add_argument(
+        "--output", default=str(OUTPUT_PATH), help="where to write the JSON trajectory"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    return parser.parse_args(argv)
+
+
+def tier_workload(num_requests: int, seed: int) -> List:
+    """Diurnal traffic scaled so every tier sees the same load *shape*:
+    the cycle period grows with the request count (constant cycles per
+    run), swinging 45%..135% of service capacity with 3x flash crowds."""
+    period_s = num_requests / 2500.0
+    return diurnal_workload(
+        num_requests=num_requests,
+        base_rate_rps=500.0,
+        peak_rate_rps=1500.0,
+        period_s=period_s,
+        num_spikes=3,
+        spike_multiplier=3.0,
+        spike_duration_s=period_s / 16.0,
+        mean_prompt_tokens=64,
+        mean_output_tokens=32,
+        seed=seed,
+    )
+
+
+def cluster_workload(num_requests: int, seed: int) -> List:
+    """Fleet-rate diurnal traffic: same shape, ~3x the single-replica rate
+    so a 4-replica cluster runs at the same per-replica load."""
+    period_s = num_requests / 7500.0
+    return diurnal_workload(
+        num_requests=num_requests,
+        base_rate_rps=1500.0,
+        peak_rate_rps=4500.0,
+        period_s=period_s,
+        num_spikes=3,
+        spike_multiplier=3.0,
+        spike_duration_s=period_s / 16.0,
+        mean_prompt_tokens=64,
+        mean_output_tokens=32,
+        seed=seed,
+    )
+
+
+def run_sim_cell(tier: str, scheduler: str, workload, seed: int) -> Dict:
+    sim = ServingSimulator(
+        SIM_MODEL, backend="hexcute", scheduler=scheduler, arch=ARCH,
+        max_batch_size=MAX_BATCH,
+    )
+    start = time.perf_counter()
+    report = sim.simulate(workload, workload="diurnal")
+    wall = time.perf_counter() - start
+    return {
+        "config": {
+            "tier": tier,
+            "num_requests": len(workload),
+            "scheduler": scheduler,
+            "replicas": 1,
+            "router": None,
+            "workload": "diurnal",
+            "model": SIM_MODEL.name,
+            "arch": ARCH,
+            "max_batch_size": MAX_BATCH,
+            "seed": seed,
+        },
+        "wall_seconds": wall,
+        "rps": len(workload) / wall,
+        "digest": report.digest(),
+        "steps": report.steps,
+        "preemptions": report.preemptions,
+    }
+
+
+def run_cluster_cell(tier: str, replicas: int, workload, seed: int) -> Dict:
+    cluster = ClusterSimulator(
+        SIM_MODEL, replicas=replicas, router="round-robin", backend="hexcute",
+        scheduler="fcfs", arch=ARCH, max_batch_size=MAX_BATCH, seed=seed,
+    )
+    start = time.perf_counter()
+    report = cluster.simulate(workload, workload="diurnal")
+    wall = time.perf_counter() - start
+    return {
+        "config": {
+            "tier": tier,
+            "num_requests": len(workload),
+            "scheduler": "fcfs",
+            "replicas": replicas,
+            "router": "round-robin",
+            "workload": "diurnal",
+            "model": SIM_MODEL.name,
+            "arch": ARCH,
+            "max_batch_size": MAX_BATCH,
+            "seed": seed,
+        },
+        "wall_seconds": wall,
+        "rps": len(workload) / wall,
+        "digest": report.digest(),
+        "steps": sum(r.steps for r in report.replicas),
+        "preemptions": report.preemptions,
+    }
+
+
+def cell_label(entry: Dict) -> str:
+    cfg = entry["config"]
+    where = f"{cfg['replicas']}x replicas ({cfg['router']})" if cfg["replicas"] > 1 else "1 replica"
+    return f"{cfg['tier']:>4} x {cfg['scheduler']:<12} {where}"
+
+
+def validate_schema(payload: Dict, failures: List[str]) -> None:
+    """Structural check of the emitted trajectory — the contract
+    docs/benchmarks.md documents and CI enforces."""
+    for key in ("schema_version", "model", "arch", "max_batch_size", "baseline", "entries"):
+        if key not in payload:
+            failures.append(f"BENCH_sim_scale.json missing top-level key {key!r}")
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        failures.append(f"unexpected schema_version: {payload.get('schema_version')}")
+    for i, entry in enumerate(payload.get("entries", [])):
+        for key in ("config", "wall_seconds", "rps", "digest"):
+            if key not in entry:
+                failures.append(f"entry {i} missing key {key!r}")
+        config = entry.get("config", {})
+        for key in (
+            "tier", "num_requests", "scheduler", "replicas", "workload",
+            "model", "arch", "max_batch_size", "seed",
+        ):
+            if key not in config:
+                failures.append(f"entry {i} config missing key {key!r}")
+        if not (isinstance(entry.get("rps"), float) and entry["rps"] > 0):
+            failures.append(f"entry {i} rps not a positive float")
+        digest = entry.get("digest")
+        if not (isinstance(digest, str) and len(digest) == 64):
+            failures.append(f"entry {i} digest not a sha256 hex string")
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    failures: List[str] = []
+    entries: List[Dict] = []
+
+    if args.tiers is not None:
+        tiers = [t.strip() for t in args.tiers.split(",") if t.strip()]
+    else:
+        tiers = ["10k"] if args.smoke else ["10k", "100k", "1m"]
+    unknown = [t for t in tiers if t not in TIER_REQUESTS]
+    if unknown:
+        print(f"unknown tiers: {unknown} (choose from {sorted(TIER_REQUESTS)})")
+        return 2
+
+    # Warm up the compiled step buckets outside every timed region: the
+    # first latency query per bucket compiles kernels (seconds), which
+    # would otherwise be billed to whichever cell runs first.
+    warm = ServingSimulator(SIM_MODEL, arch=ARCH, max_batch_size=MAX_BATCH)
+    warm_start = time.perf_counter()
+    for batch in range(1, MAX_BATCH + 1):
+        warm.step_model.step_latency_ms(SIM_MODEL, "hexcute", batch)
+    print(f"warmed step buckets in {time.perf_counter() - warm_start:.1f} s")
+
+    tier_schedulers = {
+        "10k": ["fcfs", "slo"] if args.smoke else ["fcfs", "slo", "max-batch", "memory-aware"],
+        "100k": ["fcfs", "slo"],
+        "1m": ["fcfs"],
+    }
+
+    for tier in tiers:
+        num_requests = TIER_REQUESTS[tier]
+        gen_start = time.perf_counter()
+        workload = tier_workload(num_requests, args.seed)
+        gen_seconds = time.perf_counter() - gen_start
+        print(f"[{tier}] generated {num_requests} diurnal requests in {gen_seconds:.1f} s")
+        for scheduler in tier_schedulers[tier]:
+            entry = run_sim_cell(tier, scheduler, workload, args.seed)
+            entries.append(entry)
+            print(
+                f"[{tier}] {cell_label(entry)}: {entry['rps']:,.0f} req/s "
+                f"({entry['wall_seconds']:.2f} s wall, {entry['steps']} steps, "
+                f"{entry['preemptions']} preemptions)"
+            )
+            if args.smoke:
+                rerun = run_sim_cell(tier, scheduler, workload, args.seed)
+                if rerun["digest"] != entry["digest"]:
+                    failures.append(
+                        f"digest instability at {cell_label(entry)}: "
+                        f"{entry['digest'][:12]} vs {rerun['digest'][:12]}"
+                    )
+
+        # Cluster cells ride the 100k tier in full mode and the 10k tier in
+        # smoke mode (to keep CI fast while still covering the event heap).
+        if tier == "100k" and not args.smoke:
+            cluster_reqs = cluster_workload(num_requests, args.seed)
+            for replicas in (2, 4):
+                entry = run_cluster_cell(tier, replicas, cluster_reqs, args.seed)
+                entries.append(entry)
+                print(
+                    f"[{tier}] {cell_label(entry)}: {entry['rps']:,.0f} req/s "
+                    f"({entry['wall_seconds']:.2f} s wall)"
+                )
+        if tier == "10k" and args.smoke:
+            cluster_reqs = cluster_workload(num_requests, args.seed)
+            entry = run_cluster_cell(tier, 2, cluster_reqs, args.seed)
+            entries.append(entry)
+            print(
+                f"[{tier}] {cell_label(entry)}: {entry['rps']:,.0f} req/s "
+                f"({entry['wall_seconds']:.2f} s wall)"
+            )
+            rerun = run_cluster_cell(tier, 2, cluster_reqs, args.seed)
+            if rerun["digest"] != entry["digest"]:
+                failures.append("digest instability in the smoke cluster cell")
+
+    # ------------------------------------------------------------------ #
+    # Floors and trajectory
+    # ------------------------------------------------------------------ #
+    if args.smoke:
+        fcfs = next(
+            e for e in entries
+            if e["config"]["scheduler"] == "fcfs" and e["config"]["replicas"] == 1
+        )
+        if fcfs["rps"] < MIN_SMOKE_RPS:
+            failures.append(
+                f"10k fcfs tier below the rps floor: {fcfs['rps']:,.0f} < "
+                f"{MIN_SMOKE_RPS:,.0f} — an O(waiting) term is back in the hot loop"
+            )
+
+    baseline_rps = BASELINE["rps"].get("100k/fcfs")
+    current = next(
+        (
+            e for e in entries
+            if e["config"]["tier"] == "100k"
+            and e["config"]["scheduler"] == "fcfs"
+            and e["config"]["replicas"] == 1
+        ),
+        None,
+    )
+    if current is not None and baseline_rps:
+        speedup = current["rps"] / baseline_rps
+        print(
+            f"\n100k tier vs pre-optimization loop: {current['rps']:,.0f} req/s "
+            f"vs {baseline_rps:,.0f} req/s -> {speedup:.1f}x"
+        )
+        if speedup < 10.0:
+            failures.append(
+                f"100k tier speedup below 10x over the recorded baseline "
+                f"({speedup:.1f}x)"
+            )
+
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "model": SIM_MODEL.name,
+        "arch": ARCH,
+        "max_batch_size": MAX_BATCH,
+        "baseline": BASELINE,
+        "entries": entries,
+    }
+    validate_schema(payload, failures)
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {len(entries)} cells -> {args.output}")
+
+    if failures:
+        print("\nFAILURES:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("all scale checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -95,6 +95,7 @@ from repro.serving.workload import (
     RequestQueue,
     WORKLOADS,
     bursty_workload,
+    diurnal_workload,
     heavy_tail_workload,
     make_workload,
     memory_pressure_workload,
@@ -133,6 +134,7 @@ __all__ = [
     "StepLatencyModel",
     "WORKLOADS",
     "bursty_workload",
+    "diurnal_workload",
     "format_cluster_reports",
     "format_reports",
     "get_router",

@@ -41,6 +41,7 @@ infinite-budget equivalence check.
 from __future__ import annotations
 
 import hashlib
+import heapq
 import json
 from dataclasses import dataclass, field
 from functools import cached_property
@@ -341,20 +342,40 @@ class ClusterSimulator:
         ]
         self.router.reset(len(engines), seed=self.seed)
         assignments: Dict[int, int] = {}
+        # Min-heap of (engine clock, replica id): only the replicas whose
+        # clocks still trail the next arrival are touched per event,
+        # instead of scanning the whole fleet.  An engine leaves the heap
+        # when advance() returns False — which, for an engine behind the
+        # arrival, only happens when it is fully drained (every blocked
+        # path either wakes at a hint > now, and the arrival itself is
+        # such a hint, or requires the hints to be in the past) — and
+        # re-enters when a request is injected into it.  Per-engine
+        # advance() call sequences (and hints) are exactly the scan
+        # loop's, and replicas are independent, so the traces (and every
+        # digest) are bit-identical.
+        heap = [(engine.now, index) for index, engine in enumerate(engines)]
+        heapq.heapify(heap)
+        in_heap = [True] * len(engines)
         for request in ordered:
             arrival = request.arrival_ms
-            # Advance every replica as far as this arrival allows so the
-            # router sees state as of the arrival, not launch time.  A
-            # replica may overshoot (a decode step crossing the arrival)
+            # Advance every trailing replica as far as this arrival allows
+            # so the router sees state as of the arrival, not launch time.
+            # A replica may overshoot (a decode step crossing the arrival)
             # or stop short (idle/blocked — its clock then reads its last
             # event, but nothing about it can change before new input) —
             # both are exactly the states the monolithic loop would be in
             # at this time.
-            for engine in engines:
-                while engine.now < arrival and engine.advance(
+            while heap and heap[0][0] < arrival:
+                clock, index = heapq.heappop(heap)
+                engine = engines[index]
+                if clock != engine.now:  # stale entry superseded by a re-push
+                    continue
+                if engine.advance(
                     external_next_arrival_ms=arrival, external_pending=True
                 ):
-                    pass
+                    heapq.heappush(heap, (engine.now, index))
+                else:
+                    in_heap[index] = False
             snapshots = [
                 self._snapshot(index, engine) for index, engine in enumerate(engines)
             ]
@@ -366,6 +387,9 @@ class ClusterSimulator:
                 )
             assignments[request.request_id] = choice
             engines[choice].inject(request)
+            if not in_heap[choice]:
+                in_heap[choice] = True
+                heapq.heappush(heap, (engines[choice].now, choice))
         for engine in engines:
             while engine.advance():
                 pass

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict
 
 from repro.sim.arch import GpuArch, get_arch
@@ -72,12 +73,15 @@ _WEIGHT_DTYPE_BYTES = {
 _KV_DTYPE_BYTES = 2.0
 
 
+@lru_cache(maxsize=None)
 def blocks_for_tokens(tokens: int, block_tokens: int = DEFAULT_KV_BLOCK_TOKENS) -> int:
     """Blocks a context of ``tokens`` tokens occupies (>= 1).
 
     The one place the block-granularity arithmetic lives;
     :class:`KvBlockManager` and :class:`KvMemoryView` delegate here, and
     benchmarks/tests sizing a budget against a workload should too.
+    Memoized: the engine asks for the same token counts millions of times
+    per large run, and the answer is pure integer arithmetic.
     """
     return max(1, math.ceil(tokens / block_tokens))
 
@@ -195,20 +199,24 @@ class KvBlockManager:
         self.total_blocks = total_blocks
         self.block_tokens = block_tokens
         self._held: Dict[int, int] = {}
+        # Incremental sum of self._held.values(): the engine reads the pool
+        # level every step (and the cluster per routed request), so it must
+        # be O(1), not a scan of every holding.
+        self._used = 0
         self.peak_used_blocks = 0
 
     # ------------------------------------------------------------------ #
     @property
     def used_blocks(self) -> int:
-        return sum(self._held.values())
+        return self._used
 
     @property
     def free_blocks(self) -> int:
-        return self.total_blocks - self.used_blocks
+        return self.total_blocks - self._used
 
     @property
     def utilization(self) -> float:
-        return self.used_blocks / self.total_blocks
+        return self._used / self.total_blocks
 
     def blocks_for(self, tokens: int) -> int:
         """Blocks a context of ``tokens`` tokens occupies (>= 1)."""
@@ -240,16 +248,20 @@ class KvBlockManager:
         cannot cover the growth — the simulator must preempt first.
         """
         target = self.blocks_for(tokens)
-        delta = target - self.held(request_id)
-        if delta > self.free_blocks:
+        delta = target - self._held.get(request_id, 0)
+        if delta > self.total_blocks - self._used:
             raise RuntimeError(
                 f"KV pool exhausted: request {request_id} needs {delta} more "
                 f"blocks but only {self.free_blocks}/{self.total_blocks} are free"
             )
         self._held[request_id] = target
-        self.peak_used_blocks = max(self.peak_used_blocks, self.used_blocks)
+        self._used += delta
+        if self._used > self.peak_used_blocks:
+            self.peak_used_blocks = self._used
         return max(0, delta)
 
     def release(self, request_id: int) -> int:
         """Free a request's blocks (finish or preemption); returns them."""
-        return self._held.pop(request_id, 0)
+        freed = self._held.pop(request_id, 0)
+        self._used -= freed
+        return freed

@@ -42,7 +42,7 @@ def percentile(values: Sequence[float], pct: float) -> float:
     return ordered[low] * (1.0 - frac) + ordered[high] * frac
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestMetrics:
     """The lifecycle of one completed request."""
 
@@ -123,11 +123,21 @@ class ServeReport:
             return 0.0
         return self.total_output_tokens / (self.duration_ms / 1000.0)
 
+    def _sorted_metric(self, name: str) -> List[float]:
+        # Lazily cached sorted samples: a summary line reads several
+        # percentiles of the same million-entry series, and the records
+        # are immutable once the report is built.
+        cache = self.__dict__.setdefault("_metric_cache", {})
+        values = cache.get(name)
+        if values is None:
+            values = cache[name] = sorted(getattr(r, name) for r in self.requests)
+        return values
+
     def latency_percentile_ms(self, pct: float) -> float:
-        return percentile([r.latency_ms for r in self.requests], pct)
+        return percentile(self._sorted_metric("latency_ms"), pct)
 
     def ttft_percentile_ms(self, pct: float) -> float:
-        return percentile([r.ttft_ms for r in self.requests], pct)
+        return percentile(self._sorted_metric("ttft_ms"), pct)
 
     @property
     def slo_attainment(self) -> float:
@@ -143,19 +153,51 @@ class ServeReport:
         Two runs of the same seeded workload through the same deterministic
         scheduler and step-latency model must produce equal digests — the
         CI smoke check enforces this.
+
+        The hash is streamed record by record, producing the exact bytes
+        ``json.dumps(payload, sort_keys=True, separators=(",", ":"))``
+        would for the payload ``{model, backend, scheduler, workload,
+        arch, steps, duration_ms, requests}`` — a million-request report
+        must not materialize a hundred-megabyte JSON blob just to hash it.
+        ``tests/test_sim_scale.py`` pins the equivalence to the monolithic
+        form.
         """
-        payload = {
-            "model": self.model,
-            "backend": self.backend,
-            "scheduler": self.scheduler,
-            "workload": self.workload,
-            "arch": self.arch,
-            "steps": self.steps,
-            "duration_ms": float(self.duration_ms).hex(),
-            "requests": [r.record() for r in self.requests],
-        }
-        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        dumps = json.dumps
+        # sort_keys orders the payload: arch, backend, duration_ms, model,
+        # requests, scheduler, steps, workload — "requests" is streamed
+        # between the head (keys before it) and the tail (keys after it).
+        head = dumps(
+            {
+                "arch": self.arch,
+                "backend": self.backend,
+                "duration_ms": float(self.duration_ms).hex(),
+                "model": self.model,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        tail = dumps(
+            {
+                "scheduler": self.scheduler,
+                "steps": self.steps,
+                "workload": self.workload,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        hasher = hashlib.sha256()
+        hasher.update(head[:-1].encode("utf-8"))  # keep the head's fields, drop "}"
+        hasher.update(b',"requests":[')
+        first = True
+        for request in self.requests:
+            if first:
+                first = False
+            else:
+                hasher.update(b",")
+            hasher.update(dumps(request.record(), separators=(",", ":")).encode("utf-8"))
+        hasher.update(b"],")
+        hasher.update(tail[1:].encode("utf-8"))  # keep the tail's fields, drop "{"
+        return hasher.hexdigest()
 
     def label(self) -> str:
         return f"{self.model} / {self.backend} / {self.scheduler}"

@@ -48,6 +48,7 @@ keeps the fitting *prefix* of ``select``'s choice, which is what keeps a
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Type, Union
 
@@ -176,8 +177,13 @@ class SloScheduler(Scheduler):
     name = "slo"
 
     def select(self, waiting, running, free_slots, now_ms, more_arrivals):
-        by_deadline = sorted(waiting, key=lambda r: (r.deadline_ms, r.request_id))
-        return by_deadline[:free_slots]
+        if free_slots <= 0:
+            return []
+        # nsmallest == sorted(...)[:free_slots] (the key is unique per
+        # request), without sorting a deep backlog to admit a handful.
+        return heapq.nsmallest(
+            free_slots, waiting, key=lambda r: (r.deadline_ms, r.request_id)
+        )
 
     def preempt_order(self, running, now_ms):
         # The mirror of EDF admission: sacrifice the slackest deadline first.
@@ -255,7 +261,15 @@ class MemoryAwareScheduler(Scheduler):
             return []
         aged = [r for r in waiting if now_ms - r.arrival_ms >= self.max_wait_ms]
         fresh = [r for r in waiting if now_ms - r.arrival_ms < self.max_wait_ms]
-        fresh.sort(key=lambda r: (memory.admission_blocks(r), r.arrival_ms, r.request_id))
+        # The admission loop below touches at most free_slots entries before
+        # a break, so the free_slots smallest fresh requests (nsmallest is
+        # exactly sorted(...)[:free_slots] — the key is unique) fully
+        # determine the round; no need to sort the whole backlog.
+        fresh = heapq.nsmallest(
+            free_slots,
+            fresh,
+            key=lambda r: (memory.admission_blocks(r), r.arrival_ms, r.request_id),
+        )
         admitted: List[Request] = []
         free = memory.free_blocks
         # Aged requests first, in arrival order, and nothing may jump past

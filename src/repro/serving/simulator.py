@@ -53,6 +53,7 @@ results — so two runs of the same seeded workload produce bit-identical
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
@@ -71,15 +72,28 @@ from repro.sim.arch import DEFAULT_EVAL_ARCH, get_arch
 __all__ = ["ReplicaEngine", "ServingSimulator", "simulate"]
 
 
-@dataclass
+def _arrival_key(request: Request):
+    """The waiting-order key: unique per request, so any insertion that
+    respects it reproduces a full re-sort exactly."""
+    return (request.arrival_ms, request.request_id)
+
+
+@dataclass(slots=True)
 class _ActiveRequest:
-    """Mutable runtime state of one request inside the engine."""
+    """Mutable runtime state of one request inside the engine.
+
+    ``blocks_held`` mirrors the :class:`KvBlockManager` holding for this
+    request (0 while waiting), so the per-step growth check can skip the
+    allocation bookkeeping entirely on steps where the request does not
+    cross a block boundary.
+    """
 
     request: Request
     scheduled_ms: float = -1.0
     admitted_ms: float = -1.0
     first_token_ms: float = -1.0
     tokens_done: int = 0
+    blocks_held: int = 0
 
     @property
     def done(self) -> bool:
@@ -154,66 +168,6 @@ class ServingSimulator:
             buckets.append(self.step_model.bucket_for(self.max_batch_size))
         return self.step_model.precompile(self.model_config, self.backend, buckets=buckets)
 
-    # ------------------------------------------------------------------ #
-    def _grow_running(
-        self,
-        manager: KvBlockManager,
-        running: List[_ActiveRequest],
-        waiting: List[_ActiveRequest],
-        now: float,
-    ) -> List[_ActiveRequest]:
-        """Allocate each running request's next decode token, preempting
-        (scheduler-ordered, recompute-on-readmit) until the rest fit."""
-        needed = {
-            s.request.request_id: manager.blocks_for(
-                s.request.prompt_tokens + s.tokens_done + 1
-            )
-            for s in running
-        }
-        total_needed = sum(needed.values())
-        victims = set()
-        if total_needed > manager.total_blocks:
-            infos = [
-                RunningInfo(
-                    request=s.request,
-                    admitted_ms=s.admitted_ms,
-                    tokens_done=s.tokens_done,
-                    blocks_held=manager.held(s.request.request_id),
-                )
-                for s in running
-            ]
-            order = self.scheduler.preempt_order(infos, now)
-            order_ids = [info.request.request_id for info in order]
-            if sorted(order_ids) != sorted(needed):
-                raise RuntimeError(
-                    f"scheduler {self.scheduler.name!r} preempt_order is not a "
-                    f"permutation of the running batch"
-                )
-            for request_id in order_ids:
-                if total_needed <= manager.total_blocks or len(needed) == 1:
-                    break
-                total_needed -= needed.pop(request_id)
-                victims.add(request_id)
-
-        # Victims release before any survivor grows: a survivor's growth may
-        # only fit *because* a victim later in batch order is being evicted.
-        survivors: List[_ActiveRequest] = []
-        for state in running:
-            if state.request.request_id in victims:
-                manager.release(state.request.request_id)
-                # Recompute-on-readmit: the generation restarts from the
-                # prompt (it re-pays prefill and re-decodes on readmission).
-                state.tokens_done = 0
-                state.admitted_ms = -1.0
-                waiting.append(state)
-            else:
-                survivors.append(state)
-        for state in survivors:
-            manager.allocate(
-                state.request.request_id, state.request.prompt_tokens + state.tokens_done + 1
-            )
-        return survivors
-
     def simulate(self, requests: Sequence[Request], workload: str = "custom") -> ServeReport:
         """Play ``requests`` through the engine and report the outcome."""
         # Fresh engine (and block accounting) per run, so repeated
@@ -258,7 +212,17 @@ class ReplicaEngine:
                     request.prompt_tokens + request.output_tokens
                 )
         self.queue = RequestQueue(requests)
+        # ``waiting`` is maintained sorted by (arrival_ms, request_id) at
+        # all times — arrivals append (the queue pops in exactly that
+        # order, so each popped batch compares above everything popped
+        # before it) and preemption readmits bisect back in.  The key is
+        # unique per request, so this order is bit-identical to the full
+        # re-sort the engine used to run every iteration.
+        # ``_waiting_reqs`` mirrors it as bare Requests: the scheduler
+        # wants List[Request] every step, and rebuilding that view per
+        # step is O(backlog) — the dominant cost under deep queues.
         self.waiting: List[_ActiveRequest] = []
+        self._waiting_reqs: List[Request] = []
         self.running: List[_ActiveRequest] = []
         self.finished: List[RequestMetrics] = []
         self.now = 0.0
@@ -268,6 +232,12 @@ class ReplicaEngine:
         self.max_queue_depth = 0
         self.preemptions = 0
         self.kv_utilization_sum = 0.0
+        # batch size -> step latency, per engine: the model config and
+        # backend are fixed for the engine's lifetime, so this avoids the
+        # step model's bucket resolution + lock + defensive dict copy on
+        # every decode step (values are memoized and deterministic, so the
+        # cache cannot change what any step observes).
+        self._step_cache: dict = {}
 
     # ------------------------------------------------------------------ #
     def _check_fits_budget(self, request: Request) -> None:
@@ -317,6 +287,86 @@ class ReplicaEngine:
         return self._reserved_blocks
 
     # ------------------------------------------------------------------ #
+    def _grow_running(self) -> None:
+        """Allocate each running request's next decode token, preempting
+        (scheduler-ordered, recompute-on-readmit) until the rest fit.
+
+        The common no-pressure step is a pure integer pass: the preemption
+        structures (needed map, :class:`RunningInfo` snapshots) are only
+        built once the total demand actually exceeds the pool, and a
+        request's allocation is only touched on the steps where it crosses
+        a block boundary (its holding cannot change otherwise, so neither
+        can the pool level or its peak).
+        """
+        manager = self.manager
+        running = self.running
+        bf = manager.blocks_for
+        total_needed = 0
+        for s in running:
+            total_needed += bf(s.request.prompt_tokens + s.tokens_done + 1)
+
+        if total_needed > manager.total_blocks:
+            needed = {
+                s.request.request_id: bf(s.request.prompt_tokens + s.tokens_done + 1)
+                for s in running
+            }
+            infos = [
+                RunningInfo(
+                    request=s.request,
+                    admitted_ms=s.admitted_ms,
+                    tokens_done=s.tokens_done,
+                    blocks_held=s.blocks_held,
+                )
+                for s in running
+            ]
+            order = self.sim.scheduler.preempt_order(infos, self.now)
+            order_ids = [info.request.request_id for info in order]
+            if sorted(order_ids) != sorted(needed):
+                raise RuntimeError(
+                    f"scheduler {self.sim.scheduler.name!r} preempt_order is not a "
+                    f"permutation of the running batch"
+                )
+            victims = set()
+            for request_id in order_ids:
+                if total_needed <= manager.total_blocks or len(needed) == 1:
+                    break
+                total_needed -= needed.pop(request_id)
+                victims.add(request_id)
+
+            # Victims release before any survivor grows: a survivor's
+            # growth may only fit *because* a victim later in batch order
+            # is being evicted.
+            waiting, waiting_reqs = self.waiting, self._waiting_reqs
+            survivors: List[_ActiveRequest] = []
+            for state in running:
+                if state.request.request_id in victims:
+                    manager.release(state.request.request_id)
+                    # Recompute-on-readmit: the generation restarts from
+                    # the prompt (it re-pays prefill and re-decodes on
+                    # readmission).
+                    state.tokens_done = 0
+                    state.admitted_ms = -1.0
+                    state.blocks_held = 0
+                    index = bisect_left(
+                        waiting_reqs, _arrival_key(state.request), key=_arrival_key
+                    )
+                    waiting.insert(index, state)
+                    waiting_reqs.insert(index, state.request)
+                else:
+                    survivors.append(state)
+            self.running = running = survivors
+            self.preemptions += len(victims)
+
+        for state in running:
+            target = bf(state.request.prompt_tokens + state.tokens_done + 1)
+            if target != state.blocks_held:
+                manager.allocate(
+                    state.request.request_id,
+                    state.request.prompt_tokens + state.tokens_done + 1,
+                )
+                state.blocks_held = target
+
+    # ------------------------------------------------------------------ #
     def advance(
         self,
         external_next_arrival_ms: Optional[float] = None,
@@ -327,11 +377,20 @@ class ReplicaEngine:
             return False
         sim = self.sim
         manager = self.manager
+        waiting = self.waiting
+        waiting_reqs = self._waiting_reqs
 
-        self.waiting.extend(_ActiveRequest(r) for r in self.queue.pop_arrived(self.now))
-        self.waiting.sort(key=lambda s: (s.request.arrival_ms, s.request.request_id))
+        arrived = self.queue.pop_arrived(self.now)
+        if arrived:
+            # The queue pops in (arrival_ms, request_id) order with a
+            # monotone frontier, so this batch compares above everything
+            # already in ``waiting`` (earlier pops and preemption
+            # readmits of earlier pops) — appending preserves the sorted
+            # invariant with no re-sort.
+            waiting.extend(_ActiveRequest(r) for r in arrived)
+            waiting_reqs.extend(arrived)
 
-        if not self.waiting and not self.running:
+        if not waiting and not self.running:
             # Fully idle: jump to the next (local or external) arrival.
             hints = [self.queue.next_arrival_ms, external_next_arrival_ms]
             wake = min((t for t in hints if t is not None and t > self.now), default=None)
@@ -345,47 +404,73 @@ class ReplicaEngine:
         # so admission can never force the request it just admitted
         # straight back out.
         if manager is not None and self.running:
-            before = len(self.running)
-            self.running = sim._grow_running(manager, self.running, self.waiting, self.now)
-            if len(self.running) != before:
-                self.preemptions += before - len(self.running)
-                self.waiting.sort(key=lambda s: (s.request.arrival_ms, s.request.request_id))
+            self._grow_running()
+            waiting = self.waiting
+            waiting_reqs = self._waiting_reqs
 
-        admitted = sim.scheduler.select_memory(
-            [s.request for s in self.waiting],
-            running=len(self.running),
-            free_slots=sim.max_batch_size - len(self.running),
-            now_ms=self.now,
-            more_arrivals=len(self.queue) > 0 or external_pending,
-            memory=manager.view() if manager is not None else None,
-        )
-        admitted_ids = {r.request_id for r in admitted}
-        if len(admitted_ids) > sim.max_batch_size - len(self.running):
-            raise RuntimeError(
-                f"scheduler {sim.scheduler.name!r} admitted {len(admitted_ids)} "
-                f"requests into {sim.max_batch_size - len(self.running)} free slots"
+        if waiting_reqs:
+            admitted = sim.scheduler.select_memory(
+                waiting_reqs,
+                running=len(self.running),
+                free_slots=sim.max_batch_size - len(self.running),
+                now_ms=self.now,
+                more_arrivals=len(self.queue) > 0 or external_pending,
+                memory=manager.view() if manager is not None else None,
             )
-        joining = [s for s in self.waiting if s.request.request_id in admitted_ids]
-        self.waiting = [s for s in self.waiting if s.request.request_id not in admitted_ids]
-        for state in joining:
-            if state.scheduled_ms < 0:
-                state.scheduled_ms = self.now
-            state.admitted_ms = self.now
-            if manager is not None:
-                try:
-                    # The prompt plus the first decode token, mirroring
-                    # KvMemoryView.admission_blocks.
-                    manager.allocate(
-                        state.request.request_id, state.request.prompt_tokens + 1
+        else:
+            # Every policy admits nothing from an empty waiting list (and
+            # whatever a hypothetical one returned could not join anyway —
+            # joining requests come *out of* the waiting list).
+            admitted = ()
+        if admitted:
+            admitted_ids = {r.request_id for r in admitted}
+            free_slots = sim.max_batch_size - len(self.running)
+            if len(admitted_ids) > free_slots:
+                raise RuntimeError(
+                    f"scheduler {sim.scheduler.name!r} admitted {len(admitted_ids)} "
+                    f"requests into {free_slots} free slots"
+                )
+            count = len(admitted_ids)
+            if count <= len(waiting) and all(
+                waiting_reqs[i].request_id in admitted_ids for i in range(count)
+            ):
+                # The admitted set is exactly the head of the queue (always
+                # true for fcfs/max-batch and the memory-prefix base policy)
+                # — split off the prefix instead of rebuilding both mirrors.
+                joining = waiting[:count]
+                del waiting[:count]
+                del waiting_reqs[:count]
+            else:
+                joining = [s for s in waiting if s.request.request_id in admitted_ids]
+                self.waiting = waiting = [
+                    s for s in waiting if s.request.request_id not in admitted_ids
+                ]
+                self._waiting_reqs = waiting_reqs = [s.request for s in waiting]
+            for state in joining:
+                if state.scheduled_ms < 0:
+                    state.scheduled_ms = self.now
+                state.admitted_ms = self.now
+                if manager is not None:
+                    try:
+                        # The prompt plus the first decode token, mirroring
+                        # KvMemoryView.admission_blocks.
+                        manager.allocate(
+                            state.request.request_id, state.request.prompt_tokens + 1
+                        )
+                    except RuntimeError as exc:
+                        raise RuntimeError(
+                            f"scheduler {sim.scheduler.name!r} admitted request "
+                            f"{state.request.request_id} beyond the KV budget: {exc}"
+                        ) from exc
+                    state.blocks_held = manager.blocks_for(
+                        state.request.prompt_tokens + 1
                     )
-                except RuntimeError as exc:
-                    raise RuntimeError(
-                        f"scheduler {sim.scheduler.name!r} admitted request "
-                        f"{state.request.request_id} beyond the KV budget: {exc}"
-                    ) from exc
-        self.running.extend(joining)
+            self.running.extend(joining)
+        else:
+            joining = []
 
-        if not self.running:
+        running = self.running
+        if not running:
             # The scheduler deferred (e.g. max-batch waiting to fill, or
             # nothing fits the KV pool) and nothing is in flight:
             # advance to whichever comes first, the next arrival (local or
@@ -393,7 +478,7 @@ class ReplicaEngine:
             # time-based deferral like max_wait_ms cannot be slept past).
             hints = [
                 self.queue.next_arrival_ms,
-                sim.scheduler.next_event_ms([s.request for s in self.waiting], self.now),
+                sim.scheduler.next_event_ms(waiting_reqs, self.now),
                 external_next_arrival_ms,
             ]
             wake = min((t for t in hints if t is not None and t > self.now), default=None)
@@ -406,46 +491,58 @@ class ReplicaEngine:
                 return False
             raise RuntimeError(
                 f"scheduler {sim.scheduler.name!r} admitted nothing with "
-                f"{len(self.waiting)} waiting requests and no future arrivals"
+                f"{len(waiting)} waiting requests and no future arrivals"
             )
 
         # One decode step for the whole batch, plus the prefill surcharge
-        # of the requests that joined this step.
-        batch = len(self.running)
-        step_ms = sim.step_model.step_latency_ms(sim.model_config, sim.backend, batch)
-        prefill_tokens = sum(s.request.prompt_tokens for s in joining)
-        prefill_ms = (
-            prefill_tokens * (step_ms / batch) / sim.prefill_parallelism
-        )
-        self.now += step_ms + prefill_ms
+        # of the requests that joined this step.  (``now += step + 0.0``
+        # is bit-identical to ``now += step``, so the surcharge arithmetic
+        # only runs when something actually joined.)
+        batch = len(running)
+        step_ms = self._step_cache.get(batch)
+        if step_ms is None:
+            step_ms = sim.step_model.step_latency_ms(sim.model_config, sim.backend, batch)
+            self._step_cache[batch] = step_ms
+        if joining:
+            prefill_tokens = sum(s.request.prompt_tokens for s in joining)
+            self.now += step_ms + (
+                prefill_tokens * (step_ms / batch) / sim.prefill_parallelism
+            )
+        else:
+            self.now += step_ms
+        now = self.now
+        depth = len(waiting)
         self.steps += 1
         self.batch_size_sum += batch
-        self.queue_depth_sum += len(self.waiting)
-        self.max_queue_depth = max(self.max_queue_depth, len(self.waiting))
+        self.queue_depth_sum += depth
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
         if manager is not None:
             self.kv_utilization_sum += manager.utilization
 
+        finished = self.finished
         still_running: List[_ActiveRequest] = []
-        for state in self.running:
+        for state in running:
             state.tokens_done += 1
             if state.first_token_ms < 0:
-                state.first_token_ms = self.now
-            if state.done:
+                state.first_token_ms = now
+            request = state.request
+            if state.tokens_done >= request.output_tokens:
                 if manager is not None:
-                    manager.release(state.request.request_id)
+                    manager.release(request.request_id)
                     self._reserved_blocks -= manager.blocks_for(
-                        state.request.prompt_tokens + state.request.output_tokens
+                        request.prompt_tokens + request.output_tokens
                     )
-                self.finished.append(
+                finished.append(
                     RequestMetrics(
-                        request_id=state.request.request_id,
-                        arrival_ms=state.request.arrival_ms,
+                        request_id=request.request_id,
+                        arrival_ms=request.arrival_ms,
                         scheduled_ms=state.scheduled_ms,
                         first_token_ms=state.first_token_ms,
-                        finish_ms=self.now,
-                        prompt_tokens=state.request.prompt_tokens,
-                        output_tokens=state.request.output_tokens,
-                        slo_ms=state.request.slo_ms,
+                        finish_ms=now,
+                        prompt_tokens=request.prompt_tokens,
+                        output_tokens=request.output_tokens,
+                        slo_ms=request.slo_ms,
                     )
                 )
             else:

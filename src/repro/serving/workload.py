@@ -17,7 +17,12 @@ a continuous-batching engine is exercised with:
   *and* long outputs, so running requests keep growing their KV footprint
   (the regime where admission and preemption are decided by the block
   budget, not the slot count — saturates the KV pool long before the batch
-  slots).
+  slots);
+* :func:`diurnal_workload` — a non-homogeneous Poisson process whose rate
+  follows a sinusoidal day/night cycle, overlaid with seeded flash-crowd
+  spikes (short windows where the rate multiplies) — the non-stationary
+  "heavy traffic from millions of users" regime the million-request scale
+  benchmarks exercise.
 
 **Determinism contract.** Every generator draws from a private
 ``random.Random(seed)``, so a given ``(generator, parameters, seed)``
@@ -30,8 +35,9 @@ generation so the trace serializes bit-exactly.
 from __future__ import annotations
 
 import dataclasses
+import math
 import random
-from collections import deque
+from bisect import bisect_right, insort
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -40,6 +46,7 @@ __all__ = [
     "RequestQueue",
     "WORKLOADS",
     "bursty_workload",
+    "diurnal_workload",
     "heavy_tail_workload",
     "make_workload",
     "memory_pressure_workload",
@@ -47,7 +54,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Request:
     """One user request: the immutable workload spec.
 
@@ -75,55 +82,73 @@ class Request:
         return self.arrival_ms + self.slo_ms
 
 
+def _arrival_order(request: Request):
+    return (request.arrival_ms, request.request_id)
+
+
 class RequestQueue:
     """Arrival-ordered queue of not-yet-arrived requests.
 
     The simulator pops the prefix whose arrival time has passed each step
     and jumps simulated time to :attr:`next_arrival_ms` when idle.
+
+    Backed by one arrival-sorted array plus a moving cursor: the popped
+    prefix is sliced off in one cut per step instead of element-by-element
+    (pops strictly dominate — million-request runs pop every request
+    exactly once, while only the cluster ever pushes), and pushes keep the
+    pending suffix ordered via bisect.  The consumed prefix is compacted
+    away periodically so a long run does not pin every popped request.
     """
 
+    _COMPACT_AT = 4096
+
     def __init__(self, requests):
-        self._pending = deque(
-            sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
-        )
+        self._ordered: List[Request] = sorted(requests, key=_arrival_order)
+        self._cursor = 0
 
     def __len__(self) -> int:
-        return len(self._pending)
+        return len(self._ordered) - self._cursor
 
     def __iter__(self):
         """Iterate the pending requests in arrival order (read-only)."""
-        return iter(self._pending)
+        return iter(self._ordered[self._cursor :])
 
     @property
     def next_arrival_ms(self) -> Optional[float]:
-        return self._pending[0].arrival_ms if self._pending else None
+        if self._cursor < len(self._ordered):
+            return self._ordered[self._cursor].arrival_ms
+        return None
 
     def push(self, request: Request) -> None:
         """Insert one more request, keeping ``(arrival_ms, request_id)`` order.
 
         The cluster simulator routes requests in global arrival order, so
-        injections normally append; an out-of-order insert falls back to a
-        re-sort rather than corrupting the queue.
+        injections normally append; an out-of-order insert bisects into
+        the pending suffix.
         """
-        key = (request.arrival_ms, request.request_id)
-        if not self._pending or key >= (
-            self._pending[-1].arrival_ms,
-            self._pending[-1].request_id,
-        ):
-            self._pending.append(request)
+        ordered = self._ordered
+        if not ordered or len(ordered) == self._cursor or _arrival_order(
+            request
+        ) >= _arrival_order(ordered[-1]):
+            ordered.append(request)
         else:
-            self._pending = deque(
-                sorted(
-                    [*self._pending, request],
-                    key=lambda r: (r.arrival_ms, r.request_id),
-                )
-            )
+            insort(ordered, request, lo=self._cursor, key=_arrival_order)
 
     def pop_arrived(self, now_ms: float) -> List[Request]:
         """Remove and return every request with ``arrival_ms <= now_ms``."""
-        arrived: List[Request] = []
-        while self._pending and self._pending[0].arrival_ms <= now_ms:
-            arrived.append(self._pending.popleft())
+        ordered = self._ordered
+        cursor = self._cursor
+        if cursor >= len(ordered) or ordered[cursor].arrival_ms > now_ms:
+            return []
+        # First index whose arrival is strictly after now: the sorted order
+        # is (arrival_ms, request_id), so arrival times alone are also
+        # non-decreasing and bisect on them finds the popped prefix's end.
+        end = bisect_right(ordered, now_ms, lo=cursor, key=lambda r: r.arrival_ms)
+        arrived = ordered[cursor:end]
+        self._cursor = end
+        if end >= self._COMPACT_AT and end * 2 >= len(ordered):
+            del ordered[:end]
+            self._cursor = 0
         return arrived
 
 
@@ -278,17 +303,91 @@ def memory_pressure_workload(
     ]
 
 
+def diurnal_workload(
+    num_requests: int = 1024,
+    base_rate_rps: float = 4.0,
+    peak_rate_rps: float = 16.0,
+    period_s: float = 600.0,
+    num_spikes: int = 4,
+    spike_multiplier: float = 3.0,
+    spike_duration_s: float = 15.0,
+    mean_prompt_tokens: int = 512,
+    mean_output_tokens: int = 64,
+    slo_ms: Optional[float] = None,
+    seed: int = 0,
+) -> List[Request]:
+    """Non-stationary arrivals: a sinusoidal day/night cycle plus seeded
+    flash-crowd spikes.
+
+    The arrival process is a non-homogeneous Poisson process whose rate
+    swings sinusoidally between ``base_rate_rps`` (the trough) and
+    ``peak_rate_rps`` (the peak) over one ``period_s``-second "day".  On
+    top of the cycle, ``num_spikes`` flash-crowd windows — their offsets
+    drawn once from the seeded RNG, recurring every period — multiply the
+    instantaneous rate by ``spike_multiplier`` for ``spike_duration_s``
+    seconds (the "everyone opens the app at once" event).  Arrivals are
+    sampled by thinning against the peak-times-multiplier rate bound, so
+    the trace is exactly Poisson in every infinitesimal window and fully
+    determined by the seed.
+
+    This is the trace the million-request scale benchmarks
+    (``benchmarks/bench_sim_scale.py``) play: the peaks overrun a single
+    replica's service rate, building — and then draining — deep queues, so
+    the simulator's hot loop is exercised under realistic backlog rather
+    than steady state.
+    """
+    if not 0.0 < base_rate_rps <= peak_rate_rps:
+        raise ValueError(
+            f"need 0 < base_rate_rps <= peak_rate_rps, got "
+            f"{base_rate_rps} and {peak_rate_rps}"
+        )
+    if period_s <= 0:
+        raise ValueError(f"period_s must be > 0, got {period_s}")
+    if num_spikes < 0 or spike_multiplier < 1.0:
+        raise ValueError(
+            f"need num_spikes >= 0 and spike_multiplier >= 1, got "
+            f"{num_spikes} and {spike_multiplier}"
+        )
+    if not 0.0 <= spike_duration_s < period_s:
+        raise ValueError(
+            f"spike_duration_s must be in [0, period_s), got {spike_duration_s}"
+        )
+    rng = random.Random(seed)
+    spike_offsets = sorted(rng.uniform(0.0, period_s) for _ in range(num_spikes))
+    swing = peak_rate_rps - base_rate_rps
+    omega = 2.0 * math.pi / period_s
+    rate_bound = peak_rate_rps * spike_multiplier
+
+    def rate_at(t_s: float) -> float:
+        rate = base_rate_rps + swing * 0.5 * (1.0 + math.sin(omega * t_s))
+        offset = t_s % period_s
+        for start in spike_offsets:
+            end = start + spike_duration_s
+            if start <= offset < end or offset < end - period_s:  # wrapped window
+                return rate * spike_multiplier
+        return rate
+
+    now_s = 0.0
+    arrivals: List[float] = []
+    while len(arrivals) < num_requests:
+        now_s += rng.expovariate(rate_bound)
+        if rng.random() * rate_bound <= rate_at(now_s):
+            arrivals.append(now_s * 1000.0)
+    return _build_requests(arrivals, rng, mean_prompt_tokens, mean_output_tokens, slo_ms)
+
+
 WORKLOADS: Dict[str, Callable[..., List[Request]]] = {
     "steady": steady_workload,
     "bursty": bursty_workload,
     "heavy-tail": heavy_tail_workload,
     "memory-pressure": memory_pressure_workload,
+    "diurnal": diurnal_workload,
 }
 
 
 def make_workload(name: str, **kwargs) -> List[Request]:
     """Build a named workload (``steady``, ``bursty``, ``heavy-tail``,
-    ``memory-pressure``)."""
+    ``memory-pressure``, ``diurnal``)."""
     try:
         generator = WORKLOADS[name]
     except KeyError:
