@@ -18,11 +18,14 @@ simulated twice with identically seeded inputs and must produce bit-equal
 ``ServeReport`` digests; the regenerated workload itself must be
 identical; a **memory-pressure** run against a deliberately tight KV
 block budget must report preemptions > 0 with KV utilization <= 1.0 and a
-bit-equal digest on a second run; every cluster cell must be digest-stable
-across two runs; a **single-replica cluster must be digest-identical to
-the bare simulator** under every routing policy; and under bursty load
-``least-loaded`` routing must not lose to ``round-robin`` on p99 latency.
-Any violation exits nonzero.
+bit-equal digest on a second run; a **prefix-sharing** cell must hit the
+prefix cache under full sharing, digest bit-equal across two runs, and at
+zero sharing digest identically to a prefix-caching-disabled baseline;
+every cluster cell must be digest-stable across two runs; a
+**single-replica cluster must be digest-identical to the bare simulator**
+under every routing policy; and under bursty load ``least-loaded`` routing
+must not lose to ``round-robin`` on p99 latency.  Any violation exits
+nonzero.
 
 Run with:  PYTHONPATH=src python benchmarks/bench_serving.py [--smoke]
 """
@@ -161,6 +164,76 @@ def run_memory_pressure_check(args, configs, step_model, num_requests: int, fail
         reports.append(report)
         print(report.summary())
     return reports
+
+
+def run_prefix_sharing_check(args, configs, step_model, num_requests: int, failures: List[str]):
+    """The prefix-cache smoke cell: a multi-tenant shared-prompt workload
+    must (a) digest bit-equal across two runs, (b) at zero sharing digest
+    identically to a prefix-caching-disabled run on the identity-stripped
+    traffic, and (c) under full sharing actually hit the cache."""
+    import dataclasses
+
+    from repro.serving import prefix_shared_workload
+
+    config = configs[0]
+    shared = prefix_shared_workload(
+        num_requests=num_requests, rate_rps=2000.0, num_tenants=4, seed=args.seed
+    )
+    budget = 2 * max(
+        blocks_for_tokens(r.prompt_tokens + r.output_tokens) for r in shared
+    )
+
+    def run(requests, prefix_caching=True):
+        sim = ServingSimulator(
+            config,
+            backend="hexcute",
+            scheduler="fcfs",
+            arch=args.arch,
+            max_batch_size=8,
+            kv_budget_blocks=budget,
+            step_model=step_model,
+            prefix_caching=prefix_caching,
+        )
+        return sim.simulate(requests, workload="prefix-shared")
+
+    report = run(shared)
+    if report.digest() != run(shared).digest():
+        failures.append(f"nondeterministic prefix-shared serve: {report.label()}")
+    if report.prefix_hit_rate <= 0.0 or report.prefix_hits <= 0:
+        failures.append(
+            f"prefix-shared run never hit the cache (hit rate "
+            f"{report.prefix_hit_rate:.2f}, {report.label()})"
+        )
+    if report.num_requests != len(shared):
+        failures.append(f"prefix-shared run lost requests: {report.label()}")
+
+    unshared = prefix_shared_workload(
+        num_requests=num_requests, rate_rps=2000.0, num_tenants=4,
+        shared_fraction=0.0, seed=args.seed,
+    )
+    stripped = [
+        dataclasses.replace(r, prefix_id=None, prefix_tokens=0) for r in shared
+    ]
+    if unshared != stripped:
+        failures.append(
+            "prefix-shared workload at shared_fraction=0 is not the "
+            "identity-stripped full-sharing traffic"
+        )
+    zero = run(unshared, prefix_caching=True)
+    baseline = run(stripped, prefix_caching=False)
+    if zero.digest() != baseline.digest():
+        failures.append(
+            "zero-sharing prefix run not bit-identical to the "
+            "prefix-caching-disabled baseline"
+        )
+    print(report.summary())
+    print(
+        f"prefix cache: {report.prefix_hits} hits / {report.prefix_misses} misses "
+        f"(hit rate {report.prefix_hit_rate:.2f}), "
+        f"{report.prefix_blocks_saved} blocks saved; zero-sharing digest == "
+        f"caching-off baseline"
+    )
+    return [report, zero, baseline]
 
 
 def cluster_workload(num_requests: int, seed: int) -> List:
@@ -364,6 +437,21 @@ def main(argv=None) -> int:
         format_reports(
             f"Memory pressure: tight KV budget, max batch 8 ({args.arch})",
             pressure_reports,
+        )
+    )
+
+    # ------------------------------------------------------------------ #
+    # Prefix sharing: cache hits under sharing, bit-identity without.
+    # ------------------------------------------------------------------ #
+    print()
+    prefix_reports = run_prefix_sharing_check(
+        args, configs, warm_model, num_requests, failures
+    )
+    print()
+    print(
+        format_reports(
+            f"Prefix sharing: multi-tenant shared prompts, max batch 8 ({args.arch})",
+            prefix_reports,
         )
     )
 

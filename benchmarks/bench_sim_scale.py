@@ -12,7 +12,8 @@ hot-loop optimizations target) through a 32-layer dense config whose step
 latencies come from the shared compiled step model:
 
 * 10k tier — every scheduler, single replica;
-* 100k tier — fcfs + slo single replica, plus 2- and 4-replica clusters;
+* 100k tier — fcfs + slo single replica, plus 2- and 4-replica clusters
+  and a prefix-shared cell (the prefix-cache store in the hot loop);
 * 1M tier — fcfs, single replica (the million-request headline run).
 
 Results land in ``BENCH_sim_scale.json`` (schema documented in
@@ -39,7 +40,12 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.e2e import ModelConfig
-from repro.serving import ClusterSimulator, ServingSimulator, diurnal_workload
+from repro.serving import (
+    ClusterSimulator,
+    ServingSimulator,
+    diurnal_workload,
+    prefix_shared_workload,
+)
 
 # The same 32-layer tiny-shape dense config the scale tests use: realistic
 # step latency (~0.35 ms at batch 16, ~1.1k simulated req/s of service
@@ -137,6 +143,53 @@ def cluster_workload(num_requests: int, seed: int) -> List:
     )
 
 
+def prefix_tier_workload(num_requests: int, seed: int) -> List:
+    """Prefix-structured traffic at the tier rate: every prompt opens with
+    a shared system prompt + one of 8 tenant templates, so the hot loop
+    runs with a live prefix store (hits, refcounts, private-suffix
+    admission) at the same load the diurnal tiers measure without one."""
+    return prefix_shared_workload(
+        num_requests=num_requests,
+        rate_rps=1000.0,
+        num_tenants=8,
+        system_prompt_tokens=48,
+        tenant_template_tokens=16,
+        mean_unique_tokens=16,
+        mean_output_tokens=32,
+        seed=seed,
+    )
+
+
+def run_prefix_cell(tier: str, workload, seed: int) -> Dict:
+    sim = ServingSimulator(
+        SIM_MODEL, backend="hexcute", scheduler="fcfs", arch=ARCH,
+        max_batch_size=MAX_BATCH,
+    )
+    start = time.perf_counter()
+    report = sim.simulate(workload, workload="prefix-shared")
+    wall = time.perf_counter() - start
+    return {
+        "config": {
+            "tier": tier,
+            "num_requests": len(workload),
+            "scheduler": "fcfs",
+            "replicas": 1,
+            "router": None,
+            "workload": "prefix-shared",
+            "model": SIM_MODEL.name,
+            "arch": ARCH,
+            "max_batch_size": MAX_BATCH,
+            "seed": seed,
+        },
+        "wall_seconds": wall,
+        "rps": len(workload) / wall,
+        "digest": report.digest(),
+        "steps": report.steps,
+        "preemptions": report.preemptions,
+        "prefix_hit_rate": report.prefix_hit_rate,
+    }
+
+
 def run_sim_cell(tier: str, scheduler: str, workload, seed: int) -> Dict:
     sim = ServingSimulator(
         SIM_MODEL, backend="hexcute", scheduler=scheduler, arch=ARCH,
@@ -198,7 +251,10 @@ def run_cluster_cell(tier: str, replicas: int, workload, seed: int) -> Dict:
 def cell_label(entry: Dict) -> str:
     cfg = entry["config"]
     where = f"{cfg['replicas']}x replicas ({cfg['router']})" if cfg["replicas"] > 1 else "1 replica"
-    return f"{cfg['tier']:>4} x {cfg['scheduler']:<12} {where}"
+    label = f"{cfg['tier']:>4} x {cfg['scheduler']:<12} {where}"
+    if cfg["workload"] != "diurnal":
+        label += f" [{cfg['workload']}]"
+    return label
 
 
 def validate_schema(payload: Dict, failures: List[str]) -> None:
@@ -300,6 +356,26 @@ def main(argv=None) -> int:
             rerun = run_cluster_cell(tier, 2, cluster_reqs, args.seed)
             if rerun["digest"] != entry["digest"]:
                 failures.append("digest instability in the smoke cluster cell")
+
+        # The prefix-shared cell rides the 100k tier in full mode and the
+        # 10k tier in smoke mode: the same loop, with a live prefix store.
+        if (tier == "100k" and not args.smoke) or (tier == "10k" and args.smoke):
+            prefix_reqs = prefix_tier_workload(num_requests, args.seed)
+            entry = run_prefix_cell(tier, prefix_reqs, args.seed)
+            entries.append(entry)
+            print(
+                f"[{tier}] {cell_label(entry)}: {entry['rps']:,.0f} req/s "
+                f"({entry['wall_seconds']:.2f} s wall, prefix hit rate "
+                f"{entry['prefix_hit_rate']:.2f})"
+            )
+            if entry["prefix_hit_rate"] <= 0.0:
+                failures.append(
+                    f"prefix-shared {tier} cell never hit the prefix cache"
+                )
+            if args.smoke:
+                rerun = run_prefix_cell(tier, prefix_reqs, args.seed)
+                if rerun["digest"] != entry["digest"]:
+                    failures.append("digest instability in the smoke prefix cell")
 
     # ------------------------------------------------------------------ #
     # Floors and trajectory

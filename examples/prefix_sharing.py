@@ -1,0 +1,120 @@
+"""Prefix caching on a multi-tenant fleet: share the prompt, skip the rework.
+
+Production traffic is prefix-structured: every prompt opens with the
+deployment's system prompt plus a per-tenant template, and only the tail
+is unique to the user.  This walk plays one seeded high-sharing day
+(``prefix_shared_workload``: 4 tenants, a 192-token system prompt, 64-token
+templates, short unique suffixes) through a 4-replica fleet under a
+deliberately tight KV block budget, three ways:
+
+1. **No sharing** — ``kv-aware`` routing with prefix caching disabled:
+   every request stores its full prompt privately, the baseline;
+2. **Sharing, prefix-blind routing** — ``kv-aware`` with caching on:
+   each replica caches the prefixes it happens to receive, so every
+   tenant's prefix is duplicated across the fleet;
+3. **Sharing + affinity** — ``prefix-affinity`` routing with caching on:
+   a tenant's traffic lands where its prefix already lives, so the
+   fleet stores each prefix about once.
+
+The prefix subsystem (refcounted copy-on-write block sharing, cached
+zero-refcount entries, eviction) and the affinity router are documented
+in ``docs/serving.md`` ("Prefix caching" and "Routing policies"); the CI
+gate over this comparison is ``tests/test_prefix.py``.
+
+Run with:  PYTHONPATH=src python examples/prefix_sharing.py
+"""
+
+from repro.e2e import DEEPSEEK_R1_AWQ
+from repro.serving import (
+    ClusterSimulator,
+    format_cluster_reports,
+    prefix_shared_workload,
+)
+from repro.serving.memory import blocks_for_tokens
+
+REPLICAS = 4
+
+
+def main():
+    # A rush hour of multi-tenant traffic: 192 shared requests whose
+    # prompts are ~80-90% shared prefix.
+    workload = prefix_shared_workload(
+        num_requests=192,
+        rate_rps=4000.0,
+        num_tenants=4,
+        system_prompt_tokens=192,
+        tenant_template_tokens=64,
+        mean_unique_tokens=32,
+        mean_output_tokens=128,
+        seed=0,
+    )
+    shared_tokens = sum(r.prefix_tokens for r in workload)
+    total_tokens = sum(r.prompt_tokens for r in workload)
+    print(
+        f"{len(workload)} requests, {len({r.prefix_id for r in workload})} distinct "
+        f"prefixes; {shared_tokens}/{total_tokens} prompt tokens "
+        f"({100 * shared_tokens / total_tokens:.0f}%) are shared prefix"
+    )
+
+    # A budget tight enough that storing the prefix once per request hurts:
+    # a bit above the single largest request footprint, per replica.
+    budget = max(
+        150,
+        8 + max(blocks_for_tokens(r.prompt_tokens + r.output_tokens) for r in workload),
+    )
+    print(f"per-replica KV budget: {budget} blocks of 16 tokens\n")
+
+    cells = [
+        ("no sharing", "kv-aware", False),
+        ("sharing, kv-aware", "kv-aware", True),
+        ("sharing + affinity", "prefix-affinity", True),
+    ]
+    reports = []
+    for label, router, caching in cells:
+        cluster = ClusterSimulator(
+            DEEPSEEK_R1_AWQ,
+            replicas=REPLICAS,
+            router=router,
+            backend="hexcute",
+            scheduler="fcfs",
+            arch="h100",
+            max_batch_size=8,
+            kv_budget_blocks=budget,
+            prefix_caching=caching,
+        )
+        report = cluster.simulate(workload, workload="prefix-shared")
+        reports.append((label, report))
+        print(f"[{label}]")
+        print(report.summary())
+        if report.prefix_hits or report.prefix_misses:
+            print(
+                f"  prefix cache: {report.prefix_hits} hits / "
+                f"{report.prefix_misses} misses (hit rate "
+                f"{report.prefix_hit_rate:.2f}), "
+                f"{report.prefix_blocks_saved} blocks saved, "
+                f"{report.prefix_resident_peak} peak resident entries"
+            )
+        print()
+
+    print(
+        format_cluster_reports(
+            f"Prefix sharing, {REPLICAS} replicas x batch 8, {budget}-block budget",
+            [report for _, report in reports],
+        )
+    )
+    print()
+    baseline = reports[0][1]
+    affinity = reports[-1][1]
+    print(
+        f"preemptions {baseline.preemptions} -> {affinity.preemptions}, "
+        f"throughput {baseline.throughput_tok_s:.0f} -> "
+        f"{affinity.throughput_tok_s:.0f} tok/s (no sharing vs sharing + "
+        "affinity).  Copy-on-write sharing stores each tenant's prefix once "
+        "per replica instead of once per request, and affinity routing keeps "
+        "a tenant's traffic where its prefix is already resident — the freed "
+        "blocks absorb decode growth that otherwise triggers preemption."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,10 @@ multi-replica cluster behind pluggable request routers.
 * :mod:`repro.serving.memory` — the KV-cache memory model: per-replica
   block budgets (HBM minus weights), paged block accounting
   (``KvBlockManager``) and the read-only ``KvMemoryView`` schedulers see;
+* :mod:`repro.serving.prefix` — refcounted copy-on-write prefix caching
+  (``PrefixStore``): requests declaring a shared prompt prefix store its
+  whole-block KV once per replica and are charged only their private
+  suffix, with cached zero-refcount prefixes evicted on demand;
 * :mod:`repro.serving.scheduler` — FCFS, SLO-aware (EDF), max-batch and
   memory-aware continuous-batching policies, each with a
   ``preempt_order`` hook for KV-pressure eviction;
@@ -23,7 +27,8 @@ multi-replica cluster behind pluggable request routers.
   block growth, preemption with recompute-on-readmit), steppable as
   ``ReplicaEngine`` so the cluster can interleave replicas;
 * :mod:`repro.serving.router` — round-robin / least-loaded / kv-aware /
-  power-of-two-choices request routing over read-only replica snapshots;
+  power-of-two-choices / prefix-affinity request routing over read-only
+  replica snapshots;
 * :mod:`repro.serving.cluster` — ``ClusterSimulator``: N replicas behind
   one router, with the fleet-level ``ClusterReport``;
 * :mod:`repro.serving.report` — percentiles, SLO attainment, preemption /
@@ -61,11 +66,13 @@ from repro.serving.memory import (
     kv_bytes_per_token,
     weight_bytes,
 )
+from repro.serving.prefix import PrefixStore
 from repro.serving.report import RequestMetrics, ServeReport, format_reports, percentile
 from repro.serving.router import (
     KvAwareRouter,
     LeastLoadedRouter,
     PowerOfTwoRouter,
+    PrefixAffinityRouter,
     ROUTERS,
     ReplicaSnapshot,
     RoundRobinRouter,
@@ -99,6 +106,7 @@ from repro.serving.workload import (
     heavy_tail_workload,
     make_workload,
     memory_pressure_workload,
+    prefix_shared_workload,
     steady_workload,
 )
 
@@ -117,6 +125,8 @@ __all__ = [
     "MemoryAwareScheduler",
     "PowerOfTwoRouter",
     "PrecompileStats",
+    "PrefixAffinityRouter",
+    "PrefixStore",
     "ROUTERS",
     "ReplicaEngine",
     "ReplicaSnapshot",
@@ -146,6 +156,7 @@ __all__ = [
     "memory_pressure_workload",
     "operator_plan",
     "percentile",
+    "prefix_shared_workload",
     "shared_step_model",
     "simulate",
     "simulate_cluster",

@@ -155,6 +155,36 @@ class ClusterReport:
             return 0.0
         return max(tracked) - min(tracked)
 
+    # Prefix-cache rollups: fleet sums of the per-replica counters (all 0
+    # when no request declared a shared prefix), outside digest() like
+    # every other non-trace stat.
+    @property
+    def prefix_hits(self) -> int:
+        return sum(r.prefix_hits for r in self.replicas)
+
+    @property
+    def prefix_misses(self) -> int:
+        return sum(r.prefix_misses for r in self.replicas)
+
+    @property
+    def prefix_blocks_saved(self) -> int:
+        return sum(r.prefix_blocks_saved for r in self.replicas)
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fleet-wide fraction of prefix lookups that hit a resident
+        prefix.  An affinity router raises this over memory-blind routing
+        by not duplicating hot prefixes across replicas."""
+        lookups = self.prefix_hits + self.prefix_misses
+        return self.prefix_hits / lookups if lookups else 0.0
+
+    @property
+    def prefix_resident_peak(self) -> int:
+        """Sum of per-replica peak resident-prefix counts — the fleet's
+        total prefix-cache footprint at each replica's own peak (a lower
+        number for the same traffic means less duplication)."""
+        return sum(r.prefix_resident_peak for r in self.replicas)
+
     @property
     def load_imbalance(self) -> float:
         """Population coefficient of variation of per-replica output tokens.
@@ -207,6 +237,7 @@ class ClusterReport:
                 "preempt": float(self.preemptions),
                 "imbalance": self.load_imbalance,
                 "kv spread": self.kv_utilization_spread,
+                "hit %": self.prefix_hit_rate * 100.0,
             },
         )
 
@@ -222,12 +253,17 @@ class ClusterReport:
         )
         if self.preemptions:
             text += f", {self.preemptions} preemptions"
+        if self.prefix_hits + self.prefix_misses:
+            text += (
+                f", prefix hit rate {self.prefix_hit_rate * 100.0:.1f}% "
+                f"({self.prefix_blocks_saved} blocks saved)"
+            )
         return text
 
 
 CLUSTER_COLUMNS = [
     "tok/s", "p50 (ms)", "p95 (ms)", "p99 (ms)", "ttft p95", "slo %",
-    "preempt", "imbalance", "kv spread",
+    "preempt", "imbalance", "kv spread", "hit %",
 ]
 
 
@@ -254,6 +290,12 @@ class ClusterSimulator:
     ``scheduler`` may be a policy name (each replica gets a fresh
     instance) or a :class:`Scheduler` instance (shared — safe because
     schedulers hold no per-run mutable state).
+
+    Remaining keyword arguments (e.g. ``prefix_caching=False``) pass
+    through to every replica's :class:`ServingSimulator`.  Prefix caches
+    are strictly per replica — sharing happens *within* a replica's pool,
+    and the ``prefix-affinity`` router is what keeps a fleet from
+    duplicating hot prefixes across pools.
     """
 
     def __init__(
@@ -331,6 +373,7 @@ class ClusterSimulator:
             kv_reserved_blocks=engine.kv_reserved_blocks,
             preemptions=engine.preemptions,
             finished=len(engine.finished),
+            resident_prefixes=engine.resident_prefix_tokens(),
         )
 
     def simulate(self, requests: Sequence[Request], workload: str = "custom") -> ClusterReport:

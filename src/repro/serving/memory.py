@@ -35,9 +35,9 @@ against the real one) is bit-identical — digest-equal — to
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict
+from typing import Dict, Mapping
 
 from repro.sim.arch import GpuArch, get_arch
 
@@ -166,11 +166,24 @@ def kv_budget_blocks(
 
 @dataclass(frozen=True)
 class KvMemoryView:
-    """A read-only snapshot of the block pool for scheduler policies."""
+    """A read-only snapshot of the block pool for scheduler policies.
+
+    ``used_blocks`` / ``peak_used_blocks`` expose the pool's pressure so a
+    policy (or the prefix store) never has to reach into the mutable
+    manager.  ``resident_prefixes`` maps a shared prefix id to the tokens
+    of that prefix currently resident in the pool (whole blocks only) —
+    empty unless the replica runs a :class:`~repro.serving.prefix.\
+    PrefixStore` with live entries, in which case ``free_blocks`` also
+    counts the store's reclaimable (zero-refcount, evict-on-demand)
+    blocks as free.
+    """
 
     block_tokens: int
     total_blocks: int
     free_blocks: int
+    used_blocks: int = 0
+    peak_used_blocks: int = 0
+    resident_prefixes: Mapping[str, int] = field(default_factory=dict)
 
     def blocks_for(self, tokens: int) -> int:
         return blocks_for_tokens(tokens, self.block_tokens)
@@ -178,7 +191,28 @@ class KvMemoryView:
     def admission_blocks(self, request) -> int:
         """Blocks a request needs to join: its prompt plus the first
         generated token, so admission never forces an immediate preemption
-        to grow the request it just admitted."""
+        to grow the request it just admitted.
+
+        Prefix-aware: a request carrying a ``prefix_id`` whose shared
+        prefix is already resident is charged only its *private* suffix
+        blocks (the copy-on-write tail).  A non-resident prefix is charged
+        in full — the shared and private parts of a block-aligned split
+        sum to exactly ``blocks_for(prompt + 1)``, so without residency
+        (or without a prefix) this is the pre-prefix arithmetic, bit for
+        bit.
+        """
+        prefix_id = getattr(request, "prefix_id", None)
+        if prefix_id is not None:
+            shared_blocks = request.prefix_tokens // self.block_tokens
+            if shared_blocks:
+                private = self.blocks_for(
+                    request.prompt_tokens + 1 - shared_blocks * self.block_tokens
+                )
+                if self.resident_prefixes.get(prefix_id, 0) >= (
+                    shared_blocks * self.block_tokens
+                ):
+                    return private
+                return shared_blocks + private
         return self.blocks_for(request.prompt_tokens + 1)
 
 
@@ -233,6 +267,8 @@ class KvBlockManager:
             block_tokens=self.block_tokens,
             total_blocks=self.total_blocks,
             free_blocks=self.free_blocks,
+            used_blocks=self._used,
+            peak_used_blocks=self.peak_used_blocks,
         )
 
     # ------------------------------------------------------------------ #
@@ -245,10 +281,20 @@ class KvBlockManager:
         """Grow (or create) a holding to cover ``tokens`` tokens.
 
         Returns the blocks newly taken from the pool.  Raises if the pool
-        cannot cover the growth — the simulator must preempt first.
+        cannot cover the growth — the simulator must preempt first — or if
+        the call would *shrink* the holding: contexts only ever grow one
+        decode token at a time, and the one way a holding gets smaller is
+        :meth:`release` (finish or preemption), so a shrinking allocate is
+        a caller bug, not a request to free blocks.
         """
         target = self.blocks_for(tokens)
-        delta = target - self._held.get(request_id, 0)
+        held = self._held.get(request_id, 0)
+        delta = target - held
+        if delta < 0:
+            raise ValueError(
+                f"allocate would shrink request {request_id}'s holding from "
+                f"{held} to {target} blocks; use release() to free blocks"
+            )
         if delta > self.total_blocks - self._used:
             raise RuntimeError(
                 f"KV pool exhausted: request {request_id} needs {delta} more "
@@ -258,7 +304,7 @@ class KvBlockManager:
         self._used += delta
         if self._used > self.peak_used_blocks:
             self.peak_used_blocks = self._used
-        return max(0, delta)
+        return delta
 
     def release(self, request_id: int) -> int:
         """Free a request's blocks (finish or preemption); returns them."""

@@ -114,6 +114,14 @@ class ServeReport:
     kv_total_blocks: int = 0
     kv_peak_utilization: float = 0.0
     mean_kv_utilization: float = 0.0
+    # Prefix-cache rollups (zeros when no request declared a shared
+    # prefix).  Also outside digest(), same reasoning: a zero-sharing run
+    # must digest identically to the pre-prefix engine.
+    prefix_hits: int = 0
+    prefix_misses: int = 0
+    prefix_blocks_saved: int = 0
+    prefix_evictions: int = 0
+    prefix_resident_peak: int = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -145,6 +153,13 @@ class ServeReport:
         if not self.requests:
             return 1.0
         return sum(1 for r in self.requests if r.slo_met) / len(self.requests)
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of prefix lookups that attached to a resident prefix
+        (0.0 when the workload declared no prefixes)."""
+        lookups = self.prefix_hits + self.prefix_misses
+        return self.prefix_hits / lookups if lookups else 0.0
 
     # ------------------------------------------------------------------ #
     def digest(self) -> str:
@@ -215,6 +230,7 @@ class ServeReport:
                 "batch": self.mean_batch_size,
                 "preempt": float(self.preemptions),
                 "kv peak": self.kv_peak_utilization,
+                "hit %": self.prefix_hit_rate * 100.0,
             },
         )
 
@@ -235,12 +251,17 @@ class ServeReport:
                 f"KV peak {self.kv_peak_utilization * 100.0:.0f}% of "
                 f"{self.kv_total_blocks} blocks"
             )
+        if self.prefix_hits + self.prefix_misses:
+            text += (
+                f", prefix hit rate {self.prefix_hit_rate * 100.0:.0f}% "
+                f"({self.prefix_blocks_saved} blocks saved)"
+            )
         return text
 
 
 REPORT_COLUMNS = [
     "tok/s", "p50 (ms)", "p95 (ms)", "p99 (ms)", "ttft p95", "slo %", "batch",
-    "preempt", "kv peak",
+    "preempt", "kv peak", "hit %",
 ]
 
 

@@ -6,7 +6,7 @@ current :class:`ReplicaSnapshot` of each replica (queue depth, batch
 occupancy, free KV blocks, preemptions so far) and the router picks which
 replica serves it.  Routing policy is as perf-critical as batch
 composition — a router that stacks marathon generations on one replica
-wrecks tail latency no matter how good that replica's scheduler is.  Four
+wrecks tail latency no matter how good that replica's scheduler is.  Five
 policies are provided:
 
 * :class:`RoundRobinRouter` — cycle through replicas in id order; the
@@ -24,7 +24,12 @@ policies are provided:
 * :class:`PowerOfTwoRouter` — power-of-two-choices: sample two distinct
   replicas from a private seeded RNG and keep the less loaded.  Nearly
   the balance of join-shortest-queue at a fraction of the state
-  inspection, and the standard randomized-routing reference point.
+  inspection, and the standard randomized-routing reference point;
+* :class:`PrefixAffinityRouter` — send a request declaring a shared
+  prompt prefix to the replica whose prefix cache already holds it
+  (longest resident span wins), so the shared KV blocks are stored once
+  per fleet instead of once per replica; everything else falls back to
+  kv-aware routing, bit for bit.
 
 **Determinism contract.** Routers are deterministic: ties break on
 ``replica_id``, and the only randomness (:class:`PowerOfTwoRouter`) comes
@@ -43,8 +48,8 @@ resolved by :func:`get_router`) and the documented policy tables in
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, List, Type, Union
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Type, Union
 
 from repro.serving.workload import Request
 
@@ -52,6 +57,7 @@ __all__ = [
     "KvAwareRouter",
     "LeastLoadedRouter",
     "PowerOfTwoRouter",
+    "PrefixAffinityRouter",
     "ROUTERS",
     "ReplicaSnapshot",
     "RoundRobinRouter",
@@ -73,6 +79,11 @@ class ReplicaSnapshot:
     memory-balancing router actually wants, since queued requests hold no
     blocks yet.  Both (and ``kv_total_blocks``) are 0 when the replica's
     KV memory model is disabled.
+
+    ``resident_prefixes`` maps shared prefix ids to the tokens of that
+    prefix resident in the replica's prefix cache — empty unless the
+    replica runs prefix caching and some prefix is resident.  This is
+    what :class:`PrefixAffinityRouter` keys on.
     """
 
     replica_id: int
@@ -85,6 +96,7 @@ class ReplicaSnapshot:
     kv_reserved_blocks: int
     preemptions: int
     finished: int
+    resident_prefixes: Mapping[str, int] = field(default_factory=dict)
 
     @property
     def load(self) -> int:
@@ -209,11 +221,60 @@ class PowerOfTwoRouter(Router):
         ).replica_id
 
 
+class PrefixAffinityRouter(Router):
+    """Route to the replica already holding the request's shared prefix.
+
+    A request declaring a ``prefix_id`` is steered to the replica whose
+    prefix cache holds the longest resident span of that prefix — landing
+    there turns the prompt's shared head into a cache hit (blocks stored
+    once, admission charges only the private suffix), where any other
+    replica would recompute and re-store it.  Among holders, ties break
+    exactly like :class:`KvAwareRouter` ranks replicas (most unreserved
+    blocks, fewest preemptions, least loaded, lowest id).  Requests
+    without a prefix — and prefixes resident nowhere yet — fall back to a
+    private :class:`KvAwareRouter`, so prefix-less traffic routes
+    identically to ``kv-aware``, bit for bit.
+
+    Affinity concentrates a tenant's traffic, which is the point: the
+    alternative (spreading by load) duplicates the prefix into every
+    replica's pool and pays the memory back in preemptions under
+    pressure.
+    """
+
+    name = "prefix-affinity"
+
+    def __init__(self):
+        self._fallback = KvAwareRouter()
+
+    def reset(self, num_replicas: int, seed: int = 0) -> None:
+        self._fallback.reset(num_replicas, seed)
+
+    def route(self, request, replicas):
+        prefix_id = getattr(request, "prefix_id", None)
+        if prefix_id is not None:
+            holders = [
+                s for s in replicas if s.resident_prefixes.get(prefix_id, 0) > 0
+            ]
+            if holders:
+                return min(
+                    holders,
+                    key=lambda s: (
+                        -s.resident_prefixes[prefix_id],
+                        -s.kv_unreserved_blocks,
+                        s.preemptions,
+                        s.load,
+                        s.replica_id,
+                    ),
+                ).replica_id
+        return self._fallback.route(request, replicas)
+
+
 ROUTERS: Dict[str, Type[Router]] = {
     RoundRobinRouter.name: RoundRobinRouter,
     LeastLoadedRouter.name: LeastLoadedRouter,
     KvAwareRouter.name: KvAwareRouter,
     PowerOfTwoRouter.name: PowerOfTwoRouter,
+    PrefixAffinityRouter.name: PrefixAffinityRouter,
 }
 
 

@@ -61,8 +61,10 @@ from repro.serving.memory import (
     DEFAULT_HBM_UTILIZATION,
     DEFAULT_KV_BLOCK_TOKENS,
     KvBlockManager,
+    KvMemoryView,
     kv_budget_blocks as _derive_kv_budget_blocks,
 )
+from repro.serving.prefix import PrefixStore
 from repro.serving.report import RequestMetrics, ServeReport
 from repro.serving.scheduler import RunningInfo, Scheduler, get_scheduler
 from repro.serving.step_model import PrecompileStats, StepLatencyModel, shared_step_model
@@ -86,6 +88,12 @@ class _ActiveRequest:
     request (0 while waiting), so the per-step growth check can skip the
     allocation bookkeeping entirely on steps where the request does not
     cross a block boundary.
+
+    ``prefix_key`` / ``shared_tokens`` record an attachment to a shared
+    prefix in the replica's :class:`~repro.serving.prefix.PrefixStore`
+    (set at admission, cleared on preemption): the first ``shared_tokens``
+    tokens of the context live in the store's refcounted blocks, so
+    ``blocks_held`` covers only the private remainder.
     """
 
     request: Request
@@ -94,6 +102,8 @@ class _ActiveRequest:
     first_token_ms: float = -1.0
     tokens_done: int = 0
     blocks_held: int = 0
+    prefix_key: Optional[str] = None
+    shared_tokens: int = 0
 
     @property
     def done(self) -> bool:
@@ -114,6 +124,14 @@ class ServingSimulator:
     count overrides it (e.g. a tiny pool to study preemption, or a huge
     one to make memory irrelevant).  ``kv_memory=False`` turns the
     accounting off entirely — the pre-KV simulator.
+
+    ``prefix_caching`` (on by default, meaningful only with the KV model
+    enabled) shares the KV blocks of requests that declare a common
+    prompt prefix (``Request.prefix_id``) through a refcounted
+    copy-on-write :class:`~repro.serving.prefix.PrefixStore`: admission
+    charges only the unshared suffix when the prefix is resident.
+    Workloads that declare no prefixes never populate the store, so they
+    are bit-identical — digest-equal — with the flag on or off.
     """
 
     def __init__(
@@ -129,6 +147,7 @@ class ServingSimulator:
         kv_block_tokens: int = DEFAULT_KV_BLOCK_TOKENS,
         kv_budget_blocks: Optional[int] = None,
         hbm_utilization: float = DEFAULT_HBM_UTILIZATION,
+        prefix_caching: bool = True,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -146,6 +165,7 @@ class ServingSimulator:
         # every step is timed at a bucket covering the actual batch.
         self.step_model.ensure_bucket(max_batch_size)
         self.kv_block_tokens = kv_block_tokens
+        self.prefix_caching = bool(prefix_caching)
         if not kv_memory:
             self.kv_budget_blocks: Optional[int] = None
         elif kv_budget_blocks is not None:
@@ -203,9 +223,12 @@ class ReplicaEngine:
         self.sim = sim
         self.replica_id = replica_id
         self.manager: Optional[KvBlockManager] = None
+        self.prefix_store: Optional[PrefixStore] = None
         self._reserved_blocks = 0
         if sim.kv_budget_blocks is not None:
             self.manager = KvBlockManager(sim.kv_budget_blocks, sim.kv_block_tokens)
+            if sim.prefix_caching:
+                self.prefix_store = PrefixStore(self.manager)
             for request in requests:
                 self._check_fits_budget(request)
                 self._reserved_blocks += self.manager.blocks_for(
@@ -283,8 +306,47 @@ class ReplicaEngine:
         Maintained incrementally — add on assignment, subtract on finish;
         preemption does not change it (the victim is still outstanding).
         0 when the KV memory model is disabled.
+
+        Deliberately *not* prefix-aware: the worst case assumes no
+        sharing (a resident prefix may be evicted before the queued
+        request runs), which keeps the figure conservative and
+        zero-sharing runs bit-identical.
         """
         return self._reserved_blocks
+
+    def resident_prefix_tokens(self) -> dict:
+        """Prefix id -> resident shared tokens, for router snapshots."""
+        store = self.prefix_store
+        if store is None or not store.entry_count:
+            return {}
+        return store.resident_tokens()
+
+    def _memory_view(self) -> KvMemoryView:
+        """The scheduler's snapshot of the pool.
+
+        With live prefix entries the view counts the store's reclaimable
+        (zero-refcount, evictable-on-demand) blocks as free and carries
+        the *referenced* residency map, so admission policies charge a
+        request attached to a pinned prefix only its private suffix.
+        Cached zero-refcount prefixes are deliberately absent from the
+        map: their blocks are already in the free figure (eviction may
+        hand them to any admission this round), so a request hoping to
+        re-attach is charged in full — if the entry survives, admission
+        simply under-uses its charge.  With an empty store this is
+        exactly ``manager.view()`` — the pre-prefix snapshot.
+        """
+        manager = self.manager
+        store = self.prefix_store
+        if store is None or not store.entry_count:
+            return manager.view()
+        return KvMemoryView(
+            block_tokens=manager.block_tokens,
+            total_blocks=manager.total_blocks,
+            free_blocks=manager.free_blocks + store.reclaimable_blocks,
+            used_blocks=manager.used_blocks,
+            peak_used_blocks=manager.peak_used_blocks,
+            resident_prefixes=store.referenced_tokens(),
+        )
 
     # ------------------------------------------------------------------ #
     def _grow_running(self) -> None:
@@ -297,7 +359,16 @@ class ReplicaEngine:
         request's allocation is only touched on the steps where it crosses
         a block boundary (its holding cannot change otherwise, so neither
         can the pool level or its peak).
+
+        With a populated prefix store the prefix-aware variant runs
+        instead; an empty store (every pre-existing workload) stays on
+        this exact path, which is what keeps zero-sharing runs
+        bit-identical to the pre-prefix engine.
         """
+        store = self.prefix_store
+        if store is not None and store.entry_count:
+            self._grow_running_prefix(store)
+            return
         manager = self.manager
         running = self.running
         bf = manager.blocks_for
@@ -366,6 +437,107 @@ class ReplicaEngine:
                 )
                 state.blocks_held = target
 
+    def _grow_running_prefix(self, store: PrefixStore) -> None:
+        """The prefix-aware form of :meth:`_grow_running`.
+
+        Each running request's demand is its *private* context (prompt +
+        decoded tokens + 1, minus its attached shared tokens); the blocks
+        of every prefix some running request references are added once.
+        When demand exceeds the pool, the preemption sweep walks the
+        scheduler's victim order exactly as before, except that cutting
+        the last attachment of a prefix also drops that prefix's blocks
+        from the demand (a zero-refcount entry is evictable, not
+        required).  Victims release their private blocks and detach from
+        their prefix — the entry stays cached, so readmission re-attaches
+        for free while it remains resident.  Survivor growth evicts
+        cached entries on demand before allocating.
+        """
+        manager = self.manager
+        running = self.running
+        bf = manager.blocks_for
+        total_needed = store.referenced_blocks
+        for s in running:
+            total_needed += bf(
+                s.request.prompt_tokens + s.tokens_done + 1 - s.shared_tokens
+            )
+
+        if total_needed > manager.total_blocks:
+            needed = {
+                s.request.request_id: bf(
+                    s.request.prompt_tokens + s.tokens_done + 1 - s.shared_tokens
+                )
+                for s in running
+            }
+            # Attachment counts among the running batch (== the store's
+            # refcounts: only running requests hold references), so the
+            # sweep can tell when a victim was a prefix's last holder.
+            ref_counts: dict = {}
+            ref_blocks: dict = {}
+            prefix_of: dict = {}
+            for s in running:
+                key = s.prefix_key
+                if key is not None:
+                    prefix_of[s.request.request_id] = key
+                    ref_counts[key] = ref_counts.get(key, 0) + 1
+                    ref_blocks[key] = s.shared_tokens // manager.block_tokens
+            infos = [
+                RunningInfo(
+                    request=s.request,
+                    admitted_ms=s.admitted_ms,
+                    tokens_done=s.tokens_done,
+                    blocks_held=s.blocks_held,
+                )
+                for s in running
+            ]
+            order = self.sim.scheduler.preempt_order(infos, self.now)
+            order_ids = [info.request.request_id for info in order]
+            if sorted(order_ids) != sorted(needed):
+                raise RuntimeError(
+                    f"scheduler {self.sim.scheduler.name!r} preempt_order is not a "
+                    f"permutation of the running batch"
+                )
+            victims = set()
+            for request_id in order_ids:
+                if total_needed <= manager.total_blocks or len(needed) == 1:
+                    break
+                total_needed -= needed.pop(request_id)
+                key = prefix_of.get(request_id)
+                if key is not None:
+                    ref_counts[key] -= 1
+                    if ref_counts[key] == 0:
+                        total_needed -= ref_blocks[key]
+                victims.add(request_id)
+
+            waiting, waiting_reqs = self.waiting, self._waiting_reqs
+            survivors: List[_ActiveRequest] = []
+            for state in running:
+                if state.request.request_id in victims:
+                    manager.release(state.request.request_id)
+                    if state.prefix_key is not None:
+                        store.release(state.prefix_key)
+                        state.prefix_key = None
+                        state.shared_tokens = 0
+                    state.tokens_done = 0
+                    state.admitted_ms = -1.0
+                    state.blocks_held = 0
+                    index = bisect_left(
+                        waiting_reqs, _arrival_key(state.request), key=_arrival_key
+                    )
+                    waiting.insert(index, state)
+                    waiting_reqs.insert(index, state.request)
+                else:
+                    survivors.append(state)
+            self.running = running = survivors
+            self.preemptions += len(victims)
+
+        for state in running:
+            tokens = state.request.prompt_tokens + state.tokens_done + 1 - state.shared_tokens
+            target = bf(tokens)
+            if target != state.blocks_held:
+                store.ensure_free(target - state.blocks_held)
+                manager.allocate(state.request.request_id, tokens)
+                state.blocks_held = target
+
     # ------------------------------------------------------------------ #
     def advance(
         self,
@@ -415,7 +587,7 @@ class ReplicaEngine:
                 free_slots=sim.max_batch_size - len(self.running),
                 now_ms=self.now,
                 more_arrivals=len(self.queue) > 0 or external_pending,
-                memory=manager.view() if manager is not None else None,
+                memory=self._memory_view() if manager is not None else None,
             )
         else:
             # Every policy admits nothing from an empty waiting list (and
@@ -446,25 +618,37 @@ class ReplicaEngine:
                     s for s in waiting if s.request.request_id not in admitted_ids
                 ]
                 self._waiting_reqs = waiting_reqs = [s.request for s in waiting]
+            store = self.prefix_store
             for state in joining:
                 if state.scheduled_ms < 0:
                     state.scheduled_ms = self.now
                 state.admitted_ms = self.now
                 if manager is not None:
+                    request = state.request
+                    # The prompt plus the first decode token, mirroring
+                    # KvMemoryView.admission_blocks; an attached shared
+                    # prefix covers its whole-block head, so only the
+                    # private remainder is allocated to the request.
+                    admit_tokens = request.prompt_tokens + 1
                     try:
-                        # The prompt plus the first decode token, mirroring
-                        # KvMemoryView.admission_blocks.
-                        manager.allocate(
-                            state.request.request_id, state.request.prompt_tokens + 1
-                        )
+                        if store is not None:
+                            if request.prefix_id is not None:
+                                shared = store.acquire(
+                                    request.prefix_id, request.prefix_tokens
+                                )
+                                if shared:
+                                    state.prefix_key = request.prefix_id
+                                    state.shared_tokens = shared
+                                    admit_tokens -= shared
+                            if store.entry_count:
+                                store.ensure_free(manager.blocks_for(admit_tokens))
+                        manager.allocate(request.request_id, admit_tokens)
                     except RuntimeError as exc:
                         raise RuntimeError(
                             f"scheduler {sim.scheduler.name!r} admitted request "
-                            f"{state.request.request_id} beyond the KV budget: {exc}"
+                            f"{request.request_id} beyond the KV budget: {exc}"
                         ) from exc
-                    state.blocks_held = manager.blocks_for(
-                        state.request.prompt_tokens + 1
-                    )
+                    state.blocks_held = manager.blocks_for(admit_tokens)
             self.running.extend(joining)
         else:
             joining = []
@@ -530,6 +714,10 @@ class ReplicaEngine:
             if state.tokens_done >= request.output_tokens:
                 if manager is not None:
                     manager.release(request.request_id)
+                    if state.prefix_key is not None:
+                        # Detach from the shared prefix; the entry stays
+                        # cached for later arrivals until evicted.
+                        self.prefix_store.release(state.prefix_key)
                     self._reserved_blocks -= manager.blocks_for(
                         request.prompt_tokens + request.output_tokens
                     )
@@ -560,6 +748,7 @@ class ReplicaEngine:
             )
         sim = self.sim
         manager = self.manager
+        store = self.prefix_store
         finished = sorted(self.finished, key=lambda m: m.request_id)
         first_arrival = min((m.arrival_ms for m in finished), default=0.0)
         return ServeReport(
@@ -587,6 +776,11 @@ class ReplicaEngine:
                 if manager is not None and self.steps
                 else 0.0
             ),
+            prefix_hits=store.hits if store is not None else 0,
+            prefix_misses=store.misses if store is not None else 0,
+            prefix_blocks_saved=store.blocks_saved if store is not None else 0,
+            prefix_evictions=store.evictions if store is not None else 0,
+            prefix_resident_peak=store.peak_resident if store is not None else 0,
         )
 
 

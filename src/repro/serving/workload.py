@@ -22,7 +22,12 @@ a continuous-batching engine is exercised with:
   follows a sinusoidal day/night cycle, overlaid with seeded flash-crowd
   spikes (short windows where the rate multiplies) — the non-stationary
   "heavy traffic from millions of users" regime the million-request scale
-  benchmarks exercise.
+  benchmarks exercise;
+* :func:`prefix_shared_workload` — Poisson arrivals whose prompts open
+  with a fleet-wide system prompt plus a per-tenant template, declared via
+  ``Request.prefix_id`` so the prefix-cache subsystem
+  (:mod:`repro.serving.prefix`) can share those KV blocks across requests
+  (the multi-tenant "everyone carries the same system prompt" regime).
 
 **Determinism contract.** Every generator draws from a private
 ``random.Random(seed)``, so a given ``(generator, parameters, seed)``
@@ -35,6 +40,7 @@ generation so the trace serializes bit-exactly.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import math
 import random
 from bisect import bisect_right, insort
@@ -50,6 +56,7 @@ __all__ = [
     "heavy_tail_workload",
     "make_workload",
     "memory_pressure_workload",
+    "prefix_shared_workload",
     "steady_workload",
 ]
 
@@ -61,6 +68,15 @@ class Request:
     ``slo_ms`` is the end-to-end deadline (full generation) relative to
     arrival; runtime state (scheduling, token progress, completion) lives in
     the simulator's per-request tracker, not here.
+
+    ``prefix_id`` / ``prefix_tokens`` declare that the first
+    ``prefix_tokens`` tokens of the prompt are a shared prefix whose
+    content hashes to ``prefix_id`` (a system prompt, a few-shot
+    template): requests with equal ids carry byte-identical prefixes, so
+    a prefix-caching replica stores those KV blocks once
+    (:mod:`repro.serving.prefix`) and an affinity router can steer equal
+    ids to the replica already holding them.  The defaults mean "no
+    shared prefix" and preserve every pre-prefix digest.
     """
 
     request_id: int
@@ -68,6 +84,8 @@ class Request:
     prompt_tokens: int
     output_tokens: int
     slo_ms: float
+    prefix_id: Optional[str] = None
+    prefix_tokens: int = 0
 
     def __post_init__(self):
         if self.prompt_tokens < 1 or self.output_tokens < 1:
@@ -76,6 +94,17 @@ class Request:
             )
         if self.arrival_ms < 0 or self.slo_ms <= 0:
             raise ValueError(f"request {self.request_id}: bad arrival/SLO times")
+        if self.prefix_id is not None:
+            if not 1 <= self.prefix_tokens <= self.prompt_tokens:
+                raise ValueError(
+                    f"request {self.request_id}: prefix_tokens must be in "
+                    f"[1, prompt_tokens] when prefix_id is set, got "
+                    f"{self.prefix_tokens} of {self.prompt_tokens}"
+                )
+        elif self.prefix_tokens:
+            raise ValueError(
+                f"request {self.request_id}: prefix_tokens without a prefix_id"
+            )
 
     @property
     def deadline_ms(self) -> float:
@@ -376,18 +405,95 @@ def diurnal_workload(
     return _build_requests(arrivals, rng, mean_prompt_tokens, mean_output_tokens, slo_ms)
 
 
+def _prefix_hash(system_prompt_tokens: int, tenant: int, template_tokens: int) -> str:
+    """The content hash of one tenant's shared prefix.
+
+    The simulator carries token *counts*, not token ids, so the "content"
+    hashed here is the prefix's identity tuple — stable across seeds and
+    runs, exactly like hashing the real token ids would be.
+    """
+    blob = f"system:{system_prompt_tokens}|tenant:{tenant}:{template_tokens}"
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def prefix_shared_workload(
+    num_requests: int = 64,
+    rate_rps: float = 4.0,
+    num_tenants: int = 4,
+    shared_fraction: float = 1.0,
+    system_prompt_tokens: int = 256,
+    tenant_template_tokens: int = 128,
+    mean_unique_tokens: int = 64,
+    mean_output_tokens: int = 64,
+    slo_ms: Optional[float] = None,
+    seed: int = 0,
+) -> List[Request]:
+    """Poisson arrivals whose prompts share structured prefixes.
+
+    Every prompt opens with the deployment's system prompt
+    (``system_prompt_tokens``) plus one of ``num_tenants`` tenant
+    templates (``tenant_template_tokens``) and closes with an
+    exponentially distributed unique user suffix.  A request *declares*
+    that shared prefix (``prefix_id`` = the content hash of system prompt
+    + its tenant's template, stable across seeds) with probability
+    ``shared_fraction``; an undeclared request carries the identical
+    prompt bytes but no cache identity, the way a client that doesn't opt
+    into caching would.
+
+    Arrival times, tenants and token counts are drawn identically
+    regardless of ``shared_fraction`` — the fraction only flips identity
+    bits — so sweeping it compares sharing regimes on the *same* traffic,
+    and ``shared_fraction=0`` is the exact no-sharing baseline.
+    """
+    if num_tenants < 1:
+        raise ValueError(f"num_tenants must be >= 1, got {num_tenants}")
+    if not 0.0 <= shared_fraction <= 1.0:
+        raise ValueError(f"shared_fraction must be in [0, 1], got {shared_fraction}")
+    if system_prompt_tokens < 0 or tenant_template_tokens < 0:
+        raise ValueError("prefix token counts must be >= 0")
+    prefix_tokens = system_prompt_tokens + tenant_template_tokens
+    if prefix_tokens < 1:
+        raise ValueError("need a nonempty shared prefix (system prompt + template)")
+    rng = random.Random(seed)
+    now = 0.0
+    requests = []
+    for request_id in range(num_requests):
+        now += rng.expovariate(rate_rps) * 1000.0
+        tenant = rng.randrange(num_tenants)
+        unique = _token_count(rng, mean_unique_tokens)
+        output = _token_count(rng, mean_output_tokens)
+        declared = rng.random() < shared_fraction
+        requests.append(
+            Request(
+                request_id=request_id,
+                arrival_ms=round(now, 6),
+                prompt_tokens=prefix_tokens + unique,
+                output_tokens=output,
+                slo_ms=slo_ms if slo_ms is not None else _default_slo_ms(output),
+                prefix_id=(
+                    _prefix_hash(system_prompt_tokens, tenant, tenant_template_tokens)
+                    if declared
+                    else None
+                ),
+                prefix_tokens=prefix_tokens if declared else 0,
+            )
+        )
+    return requests
+
+
 WORKLOADS: Dict[str, Callable[..., List[Request]]] = {
     "steady": steady_workload,
     "bursty": bursty_workload,
     "heavy-tail": heavy_tail_workload,
     "memory-pressure": memory_pressure_workload,
     "diurnal": diurnal_workload,
+    "prefix-shared": prefix_shared_workload,
 }
 
 
 def make_workload(name: str, **kwargs) -> List[Request]:
     """Build a named workload (``steady``, ``bursty``, ``heavy-tail``,
-    ``memory-pressure``, ``diurnal``)."""
+    ``memory-pressure``, ``diurnal``, ``prefix-shared``)."""
     try:
         generator = WORKLOADS[name]
     except KeyError:

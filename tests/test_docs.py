@@ -11,11 +11,11 @@ on every push):
    ``pipeline/cache.py``) or relative to the doc's own directory
    (``architecture.md`` cross-links) — the resolver tries each base.
 
-2. **Policy names match the registries.**  The scheduler and router
-   tables in ``docs/serving.md`` must list exactly the names registered
-   in ``repro.serving.SCHEDULERS`` and ``repro.serving.ROUTERS`` — adding
-   a policy without documenting it (or documenting one that does not
-   exist) fails.
+2. **Policy names match the registries.**  The workload, scheduler and
+   router tables in ``docs/serving.md`` must list exactly the names
+   registered in ``repro.serving.WORKLOADS``, ``SCHEDULERS`` and
+   ``ROUTERS`` — adding a policy without documenting it (or documenting
+   one that does not exist) fails.
 """
 
 import re
@@ -23,7 +23,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.serving import ROUTERS, SCHEDULERS
+from repro.serving import ROUTERS, SCHEDULERS, WORKLOADS
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 DOCS = sorted((REPO_ROOT / "docs").glob("*.md")) + [REPO_ROOT / "README.md"]
@@ -74,6 +74,15 @@ def _table_names(text: str, heading: str):
     assert len(section) == 2, f"docs/serving.md lost its {heading!r} section"
     body = section[1].split("\n## ", 1)[0]
     return set(re.findall(r"^\| `([a-z0-9\-]+)` \|", body, flags=re.MULTILINE))
+
+
+def test_documented_workload_names_match_registry():
+    text = (REPO_ROOT / "docs" / "serving.md").read_text(encoding="utf-8")
+    documented = _table_names(text, "## Workloads and requests")
+    assert documented == set(WORKLOADS), (
+        f"docs/serving.md workload table {sorted(documented)} != "
+        f"registered WORKLOADS {sorted(WORKLOADS)}"
+    )
 
 
 def test_documented_scheduler_names_match_registry():

@@ -716,7 +716,8 @@ def test_power_of_two_is_seeded_and_deterministic():
 def test_get_router_resolves_names_and_instances():
     assert isinstance(get_router("round-robin"), RoundRobinRouter)
     assert set(ROUTERS) == {
-        "round-robin", "least-loaded", "kv-aware", "power-of-two-choices"
+        "round-robin", "least-loaded", "kv-aware", "power-of-two-choices",
+        "prefix-affinity",
     }
     custom = LeastLoadedRouter()
     assert get_router(custom) is custom
