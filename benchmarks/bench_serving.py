@@ -23,9 +23,12 @@ prefix cache under full sharing, digest bit-equal across two runs, and at
 zero sharing digest identically to a prefix-caching-disabled baseline;
 every cluster cell must be digest-stable across two runs; a
 **single-replica cluster must be digest-identical to the bare simulator**
-under every routing policy; and under bursty load ``least-loaded`` routing
-must not lose to ``round-robin`` on p99 latency.  Any violation exits
-nonzero.
+under every routing policy; under bursty load ``least-loaded`` routing
+must not lose to ``round-robin`` on p99 latency; and a **fault-tolerance**
+cell under a fixed crash/recovery schedule must digest bit-equal across
+two runs, report availability < 1 with goodput > 0 while conserving every
+request, and with an *empty* schedule digest identically to
+``faults=None``.  Any violation exits nonzero.
 
 Run with:  PYTHONPATH=src python benchmarks/bench_serving.py [--smoke]
 """
@@ -317,6 +320,66 @@ def run_cluster_sweep(args, config, step_model, failures: List[str]):
     return reports
 
 
+def run_fault_tolerance_check(args, config, step_model, failures: List[str]):
+    """The fault-injection smoke cell: a fixed crash/recovery schedule on
+    a small cluster must (a) digest bit-equal across two runs, (b) report
+    the outage (availability < 1) while still doing useful work
+    (goodput > 0) and conserving every request, and (c) with an *empty*
+    schedule digest identically to ``faults=None`` — the no-op gate."""
+    from repro.serving import FaultSchedule, ReplicaCrash, ReplicaRecover
+
+    workload = cluster_workload(32 if args.smoke else 64, args.seed)
+    span = max(r.arrival_ms for r in workload)
+    schedule = FaultSchedule(
+        [
+            ReplicaCrash(round(0.25 * span, 3), 0),
+            ReplicaRecover(round(0.75 * span, 3), 0),
+        ]
+    )
+
+    def run(faults):
+        cluster = ClusterSimulator(
+            config,
+            replicas=2,
+            router="least-loaded",
+            backend="hexcute",
+            scheduler="fcfs",
+            arch=args.arch,
+            max_batch_size=8,
+            step_model=step_model,
+            seed=args.seed,
+        )
+        return cluster.simulate(workload, workload="bursty", faults=faults)
+
+    report = run(schedule)
+    if report.digest() != run(schedule).digest():
+        failures.append(f"nondeterministic faulted serve: {report.label()}")
+    if report.crashes != 1 or not report.availability < 1.0:
+        failures.append(
+            f"crash schedule left no outage trace (crashes={report.crashes}, "
+            f"availability={report.availability:.3f}, {report.label()})"
+        )
+    if not report.goodput_tok_s > 0.0:
+        failures.append(f"faulted run produced no goodput: {report.label()}")
+    if report.num_requests != len(workload):
+        failures.append(
+            f"faulted run lost requests ({report.num_requests}/{len(workload)}, "
+            f"{report.label()})"
+        )
+    if run(FaultSchedule()).digest() != run(None).digest():
+        failures.append(
+            "empty fault schedule not bit-identical to the faults-off baseline"
+        )
+    print(report.summary())
+    print(
+        f"fault injection: {report.retries} retries, {report.failovers} "
+        f"failovers, availability {report.availability * 100.0:.1f}%, "
+        f"goodput {report.goodput_tok_s:.0f} tok/s; empty schedule digest "
+        f"== faults-off baseline"
+    )
+    return [report]
+
+
 def run_profile(args) -> int:
     """cProfile one representative serve: where does a simulated second go?
 
@@ -466,6 +529,20 @@ def main(argv=None) -> int:
             f"Cluster: bursty x{32 if args.smoke else 64}, "
             f"{configs[0].name}, max batch 8/replica ({args.arch})",
             cluster_reports,
+        )
+    )
+
+    # ------------------------------------------------------------------ #
+    # Fault tolerance: crash/recovery must be deterministic and conserve
+    # requests; an empty schedule must be a bit-exact no-op.
+    # ------------------------------------------------------------------ #
+    print()
+    fault_reports = run_fault_tolerance_check(args, configs[0], warm_model, failures)
+    print()
+    print(
+        format_cluster_reports(
+            f"Fault tolerance: mid-run crash, 2 replicas, {configs[0].name} ({args.arch})",
+            fault_reports,
         )
     )
 

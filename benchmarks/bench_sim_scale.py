@@ -12,8 +12,11 @@ hot-loop optimizations target) through a 32-layer dense config whose step
 latencies come from the shared compiled step model:
 
 * 10k tier — every scheduler, single replica;
-* 100k tier — fcfs + slo single replica, plus 2- and 4-replica clusters
-  and a prefix-shared cell (the prefix-cache store in the hot loop);
+* 100k tier — fcfs + slo single replica, plus 2- and 4-replica clusters,
+  a prefix-shared cell (the prefix-cache store in the hot loop) and a
+  crash-recovery cell (a seeded ``FaultSchedule`` killing and reviving
+  replicas mid-run, so crash wipes, retry re-routing and downtime
+  accounting all sit inside the timed region);
 * 1M tier — fcfs, single replica (the million-request headline run).
 
 Results land in ``BENCH_sim_scale.json`` (schema documented in
@@ -24,8 +27,10 @@ recorded pre-optimization baseline so the speedup is tracked in-repo.
 The CI guards (``--smoke``): the 10k tier only; every cell is run twice
 and must produce bit-equal digests; the fcfs cell must clear a minimum
 requests-per-second floor (a catastrophic-regression tripwire, far below
-the measured rate); and the emitted JSON is validated against the schema.
-Any violation exits nonzero.
+the measured rate); the crash-recovery cell must see at least one crash,
+report availability < 1 with positive goodput and complete every request
+(conservation under crashes at benchmark scale); and the emitted JSON is
+validated against the schema.  Any violation exits nonzero.
 
 Run with:  PYTHONPATH=src python benchmarks/bench_sim_scale.py [--smoke]
 """
@@ -42,6 +47,7 @@ from typing import Dict, List, Optional
 from repro.e2e import ModelConfig
 from repro.serving import (
     ClusterSimulator,
+    FaultSchedule,
     ServingSimulator,
     diurnal_workload,
     prefix_shared_workload,
@@ -248,12 +254,64 @@ def run_cluster_cell(tier: str, replicas: int, workload, seed: int) -> Dict:
     }
 
 
+def run_fault_cell(tier: str, workload, seed: int) -> Dict:
+    """Crash-recovery cell: the fleet-rate diurnal traffic through a
+    2-replica cluster while a seeded ``FaultSchedule`` (uptime ~1/3 of the
+    span, downtime ~1/10) kills and revives replicas mid-run — the event
+    merge, crash wipes, retry re-routing and downtime accounting are all
+    inside the timed region."""
+    span_ms = max(r.arrival_ms for r in workload)
+    faults = FaultSchedule.generate(
+        num_replicas=2,
+        horizon_ms=span_ms,
+        seed=seed,
+        mean_uptime_ms=span_ms / 3.0,
+        mean_downtime_ms=span_ms / 10.0,
+        mean_time_between_slowdowns_ms=0.0,
+    )
+    cluster = ClusterSimulator(
+        SIM_MODEL, replicas=2, router="least-loaded", backend="hexcute",
+        scheduler="fcfs", arch=ARCH, max_batch_size=MAX_BATCH, seed=seed,
+    )
+    start = time.perf_counter()
+    report = cluster.simulate(workload, workload="diurnal", faults=faults)
+    wall = time.perf_counter() - start
+    return {
+        "config": {
+            "tier": tier,
+            "num_requests": len(workload),
+            "scheduler": "fcfs",
+            "replicas": 2,
+            "router": "least-loaded",
+            "workload": "diurnal",
+            "model": SIM_MODEL.name,
+            "arch": ARCH,
+            "max_batch_size": MAX_BATCH,
+            "seed": seed,
+            "fault_events": len(faults),
+        },
+        "wall_seconds": wall,
+        "rps": len(workload) / wall,
+        "digest": report.digest(),
+        "steps": sum(r.steps for r in report.replicas),
+        "preemptions": report.preemptions,
+        "completed": report.num_requests,
+        "crashes": report.crashes,
+        "retries": report.retries,
+        "failovers": report.failovers,
+        "availability": report.availability,
+        "goodput_tok_s": report.goodput_tok_s,
+    }
+
+
 def cell_label(entry: Dict) -> str:
     cfg = entry["config"]
     where = f"{cfg['replicas']}x replicas ({cfg['router']})" if cfg["replicas"] > 1 else "1 replica"
     label = f"{cfg['tier']:>4} x {cfg['scheduler']:<12} {where}"
     if cfg["workload"] != "diurnal":
         label += f" [{cfg['workload']}]"
+    if cfg.get("fault_events"):
+        label += f" [crash-recovery, {cfg['fault_events']} fault events]"
     return label
 
 
@@ -376,6 +434,42 @@ def main(argv=None) -> int:
                 rerun = run_prefix_cell(tier, prefix_reqs, args.seed)
                 if rerun["digest"] != entry["digest"]:
                     failures.append("digest instability in the smoke prefix cell")
+
+        # The crash-recovery cell rides the same tiers: the cluster event
+        # loop with a live fault schedule (crash wipes, retries, downtime).
+        if (tier == "100k" and not args.smoke) or (tier == "10k" and args.smoke):
+            fault_reqs = cluster_workload(num_requests, args.seed)
+            entry = run_fault_cell(tier, fault_reqs, args.seed)
+            entries.append(entry)
+            print(
+                f"[{tier}] {cell_label(entry)}: {entry['rps']:,.0f} req/s "
+                f"({entry['wall_seconds']:.2f} s wall, {entry['crashes']} crashes, "
+                f"{entry['retries']} retries, availability "
+                f"{entry['availability'] * 100.0:.1f}%, goodput "
+                f"{entry['goodput_tok_s']:,.0f} tok/s)"
+            )
+            if entry["crashes"] < 1:
+                failures.append(
+                    f"crash-recovery {tier} cell saw no crash — the generated "
+                    "schedule no longer covers the workload span"
+                )
+            elif not entry["availability"] < 1.0:
+                failures.append(
+                    f"crash-recovery {tier} cell reports full availability "
+                    f"despite {entry['crashes']} crashes"
+                )
+            if entry["goodput_tok_s"] <= 0.0:
+                failures.append(f"crash-recovery {tier} cell has zero goodput")
+            if entry["completed"] != len(fault_reqs):
+                failures.append(
+                    f"crash-recovery {tier} cell lost requests: "
+                    f"{entry['completed']} completed of {len(fault_reqs)} "
+                    "(conservation under crashes broken)"
+                )
+            if args.smoke:
+                rerun = run_fault_cell(tier, fault_reqs, args.seed)
+                if rerun["digest"] != entry["digest"]:
+                    failures.append("digest instability in the smoke crash-recovery cell")
 
     # ------------------------------------------------------------------ #
     # Floors and trajectory

@@ -31,6 +31,11 @@ multi-replica cluster behind pluggable request routers.
   replica snapshots;
 * :mod:`repro.serving.cluster` — ``ClusterSimulator``: N replicas behind
   one router, with the fleet-level ``ClusterReport``;
+* :mod:`repro.serving.faults` — seeded ``FaultSchedule`` of timed replica
+  crashes, recoveries and slowdowns the cluster interleaves with
+  arrivals: crash-lost requests retry through global routing,
+  health-aware routing fails over around down replicas, and requests
+  carrying a hard ``deadline_ms`` are shed once it lapses;
 * :mod:`repro.serving.report` — percentiles, SLO attainment, preemption /
   KV-utilization counters and the bit-exact ``ServeReport`` digest the CI
   determinism check relies on.
@@ -46,9 +51,10 @@ seeded workload therefore produce bit-identical ``ServeReport`` /
 **Digest compatibility.** ``ServeReport.digest()`` hashes only the
 per-request trace (plus run identity), so a feature that does not perturb
 the trace must not perturb the digest: a KV-budget run that never hits
-the budget is bit-identical to ``kv_memory=False``, and a single-replica
+the budget is bit-identical to ``kv_memory=False``, a single-replica
 cluster is bit-identical to the bare ``ServingSimulator`` under every
-routing policy.  See ``docs/serving.md``.
+routing policy, and an empty ``FaultSchedule`` (with no deadlines) is
+bit-identical to ``faults=None``.  See ``docs/serving.md``.
 """
 
 from repro.serving.cluster import (
@@ -56,6 +62,13 @@ from repro.serving.cluster import (
     ClusterSimulator,
     format_cluster_reports,
     simulate_cluster,
+)
+from repro.serving.faults import (
+    FaultEvent,
+    FaultSchedule,
+    ReplicaCrash,
+    ReplicaRecover,
+    ReplicaSlowdown,
 )
 from repro.serving.memory import (
     DEFAULT_HBM_UTILIZATION,
@@ -102,6 +115,7 @@ from repro.serving.workload import (
     RequestQueue,
     WORKLOADS,
     bursty_workload,
+    deadline_workload,
     diurnal_workload,
     heavy_tail_workload,
     make_workload,
@@ -116,6 +130,8 @@ __all__ = [
     "DEFAULT_BATCH_BUCKETS",
     "DEFAULT_HBM_UTILIZATION",
     "DEFAULT_KV_BLOCK_TOKENS",
+    "FaultEvent",
+    "FaultSchedule",
     "FcfsScheduler",
     "KvAwareRouter",
     "KvBlockManager",
@@ -128,7 +144,10 @@ __all__ = [
     "PrefixAffinityRouter",
     "PrefixStore",
     "ROUTERS",
+    "ReplicaCrash",
     "ReplicaEngine",
+    "ReplicaRecover",
+    "ReplicaSlowdown",
     "ReplicaSnapshot",
     "Request",
     "RequestMetrics",
@@ -144,6 +163,7 @@ __all__ = [
     "StepLatencyModel",
     "WORKLOADS",
     "bursty_workload",
+    "deadline_workload",
     "diurnal_workload",
     "format_cluster_reports",
     "format_reports",

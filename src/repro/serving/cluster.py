@@ -36,6 +36,20 @@ replica's ``ServeReport.digest()`` — so the gate in
 ``tests/test_serving.py`` (and ``benchmarks/bench_serving.py --smoke``) is
 a literal digest equality, the same shape as the KV model's
 infinite-budget equivalence check.
+
+**Fault injection.** :meth:`ClusterSimulator.simulate` optionally takes a
+:class:`~repro.serving.faults.FaultSchedule` and merges its timed events
+into the arrival loop (ties process faults first).  A crash wipes the
+replica — KV pool, prefix cache, every owned request — and the lost
+requests re-enter global routing (each re-placement is a *retry*; landing
+on a different replica than before is a *failover*).  Health-aware
+routing (the default) shows routers only healthy snapshots; the
+health-blind baseline (``health_aware=False``) routes into the dark and
+pays for it, which is exactly the comparison ``tests/test_faults.py``
+gates on.  The robustness rollups (retries, failovers, shed, downtime,
+availability, goodput) live outside :meth:`ClusterReport.digest`, and an
+*empty* schedule takes the exact ``faults=None`` code path — digest
+bit-identity, the same no-op contract the KV model and prefix cache obey.
 """
 
 from __future__ import annotations
@@ -48,6 +62,7 @@ from functools import cached_property
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.reporting.tables import TableRow, format_table
+from repro.serving.faults import FaultSchedule, ReplicaCrash, ReplicaRecover
 from repro.serving.report import RequestMetrics, ServeReport, percentile
 from repro.serving.router import ReplicaSnapshot, Router, get_router
 from repro.serving.scheduler import Scheduler
@@ -73,7 +88,10 @@ class ClusterReport:
     attainment, total preemptions, the spread of per-replica KV peak
     utilization, and a load-imbalance coefficient (population coefficient
     of variation of per-replica generated tokens — 0.0 is a perfectly
-    balanced fleet).
+    balanced fleet).  Under fault injection it also carries the
+    robustness rollups: retries, failovers, shed requests, crash count,
+    total downtime, availability and goodput — all zero fault-free, and
+    all outside :meth:`digest`.
     """
 
     model: str
@@ -84,8 +102,15 @@ class ClusterReport:
     arch: str
     num_replicas: int
     replicas: List[ServeReport] = field(default_factory=list, repr=False)
-    # request_id -> replica index, as routed.
+    # request_id -> replica index, as routed (the *final* placement for a
+    # request re-routed after a crash).
     assignments: Dict[int, int] = field(default_factory=dict, repr=False)
+    # Robustness rollups (zeros on a fault-free run).  Outside digest()
+    # like every other non-trace stat: an empty fault schedule digests
+    # identically to faults=None.
+    retries: int = 0
+    failovers: int = 0
+    shed_while_down: int = 0
 
     # ------------------------------------------------------------------ #
     @cached_property
@@ -185,6 +210,42 @@ class ClusterReport:
         number for the same traffic means less duplication)."""
         return sum(r.prefix_resident_peak for r in self.replicas)
 
+    # Robustness rollups: per-replica sums plus the cluster-level
+    # counters, all zeros fault-free.
+    @property
+    def crashes(self) -> int:
+        return sum(r.crashes for r in self.replicas)
+
+    @property
+    def total_downtime_ms(self) -> float:
+        return sum(r.downtime_ms for r in self.replicas)
+
+    @property
+    def shed(self) -> int:
+        """Requests dropped past their hard deadline: shed from a
+        replica's waiting set, plus arrivals whose deadline lapsed while
+        the whole fleet was down (``shed_while_down``)."""
+        return self.shed_while_down + sum(r.shed for r in self.replicas)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of replica-time the fleet was up over the makespan:
+        ``1 - downtime / (N x duration)`` — 1.0 on a fault-free run."""
+        span = self.duration_ms * len(self.replicas)
+        if span <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.total_downtime_ms / span)
+
+    @property
+    def goodput_tok_s(self) -> float:
+        """Fleet throughput counting useful work only: tokens of
+        completed requests that met their hard deadline.  Equal to
+        ``throughput_tok_s`` when no request carries one."""
+        if self.duration_ms <= 0:
+            return 0.0
+        useful = sum(m.output_tokens for m in self.requests if m.deadline_met)
+        return useful / (self.duration_ms / 1000.0)
+
     @property
     def load_imbalance(self) -> float:
         """Population coefficient of variation of per-replica output tokens.
@@ -258,6 +319,13 @@ class ClusterReport:
                 f", prefix hit rate {self.prefix_hit_rate * 100.0:.1f}% "
                 f"({self.prefix_blocks_saved} blocks saved)"
             )
+        if self.crashes or self.shed or self.retries:
+            text += (
+                f", {self.crashes} crashes ({self.retries} retries, "
+                f"{self.failovers} failovers, availability "
+                f"{self.availability * 100.0:.1f}%), {self.shed} shed, "
+                f"goodput {self.goodput_tok_s:.1f} tok/s"
+            )
         return text
 
 
@@ -296,6 +364,12 @@ class ClusterSimulator:
     are strictly per replica — sharing happens *within* a replica's pool,
     and the ``prefix-affinity`` router is what keeps a fleet from
     duplicating hot prefixes across pools.
+
+    ``health_aware`` only matters when :meth:`simulate` is given a fault
+    schedule: ``True`` (the default) filters crashed replicas out of the
+    snapshots shown to the router, so every policy fails over
+    automatically; ``False`` is the health-blind baseline — the router
+    keeps routing into dead replicas, whose queues wait out the outage.
     """
 
     def __init__(
@@ -312,6 +386,7 @@ class ClusterSimulator:
         seed: int = 0,
         kv_memory: bool = True,
         kv_budget_blocks: Union[int, Sequence[int], None] = None,
+        health_aware: bool = True,
         **replica_kwargs,
     ):
         if replicas < 1:
@@ -327,6 +402,7 @@ class ClusterSimulator:
             budgets = [kv_budget_blocks] * replicas
         self.router = get_router(router)
         self.seed = seed
+        self.health_aware = health_aware
         if step_model is None:
             step_model = shared_step_model(arch)
         self.step_model = step_model
@@ -374,10 +450,31 @@ class ClusterSimulator:
             preemptions=engine.preemptions,
             finished=len(engine.finished),
             resident_prefixes=engine.resident_prefix_tokens(),
+            healthy=engine.healthy,
         )
 
-    def simulate(self, requests: Sequence[Request], workload: str = "custom") -> ClusterReport:
-        """Route ``requests`` across the fleet and play every replica out."""
+    def simulate(
+        self,
+        requests: Sequence[Request],
+        workload: str = "custom",
+        faults: Optional[FaultSchedule] = None,
+    ) -> ClusterReport:
+        """Route ``requests`` across the fleet and play every replica out.
+
+        ``faults`` optionally merges a timed
+        :class:`~repro.serving.faults.FaultSchedule` into the arrival
+        loop (ties process the fault first).  A crash wipes the replica
+        and its lost requests re-enter global routing — each
+        re-placement is a *retry*, landing on a different replica than
+        before is a *failover*.  Health-aware mode routes around down
+        replicas; health-blind keeps routing into them, and anything
+        still stranded on a dead replica when the schedule ends is
+        evacuated to the survivors.  With the whole fleet down, arrivals
+        are held for the next recovery — or, when none remains, the run
+        fails with ``ValueError`` rather than losing traffic silently.
+        An *empty* schedule takes the exact ``faults=None`` code path,
+        so its digest is bit-identical.
+        """
         ordered = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
         engines = [
             ReplicaEngine(sim, replica_id=index)
@@ -385,57 +482,160 @@ class ClusterSimulator:
         ]
         self.router.reset(len(engines), seed=self.seed)
         assignments: Dict[int, int] = {}
+        fault_events = list(faults.events) if faults is not None else []
+        if fault_events and faults.max_replica_id() >= len(engines):
+            raise ValueError(
+                f"fault schedule targets replica {faults.max_replica_id()} "
+                f"but the fleet has {len(engines)} replicas"
+            )
+        healthy_only = bool(fault_events) and self.health_aware
+        retry_counts: Dict[int, int] = {}
+        failovers = 0
+        shed_while_down = 0
+        deferred: List[Request] = []  # arrivals held while the whole fleet is down
         # Min-heap of (engine clock, replica id): only the replicas whose
         # clocks still trail the next arrival are touched per event,
         # instead of scanning the whole fleet.  An engine leaves the heap
         # when advance() returns False — which, for an engine behind the
         # arrival, only happens when it is fully drained (every blocked
         # path either wakes at a hint > now, and the arrival itself is
-        # such a hint, or requires the hints to be in the past) — and
-        # re-enters when a request is injected into it.  Per-engine
-        # advance() call sequences (and hints) are exactly the scan
-        # loop's, and replicas are independent, so the traces (and every
-        # digest) are bit-identical.
+        # such a hint, or requires the hints to be in the past) or
+        # crashed — and re-enters when a request is injected into it (or
+        # it recovers).  Per-engine advance() call sequences (and hints)
+        # are exactly the scan loop's, and replicas are independent, so
+        # the traces (and every digest) are bit-identical.
         heap = [(engine.now, index) for index, engine in enumerate(engines)]
         heapq.heapify(heap)
         in_heap = [True] * len(engines)
-        for request in ordered:
-            arrival = request.arrival_ms
-            # Advance every trailing replica as far as this arrival allows
-            # so the router sees state as of the arrival, not launch time.
-            # A replica may overshoot (a decode step crossing the arrival)
-            # or stop short (idle/blocked — its clock then reads its last
-            # event, but nothing about it can change before new input) —
-            # both are exactly the states the monolithic loop would be in
-            # at this time.
-            while heap and heap[0][0] < arrival:
+        num_arrivals = len(ordered)
+        num_faults = len(fault_events)
+        ai = fi = 0
+
+        def advance_to(horizon: float, pending: bool) -> None:
+            # Advance every trailing replica as far as this event allows
+            # so the router (or the fault) sees state as of its time, not
+            # launch time.  A replica may overshoot (a decode step
+            # crossing the horizon) or stop short (idle/blocked — its
+            # clock then reads its last event, but nothing about it can
+            # change before new input) — both are exactly the states the
+            # monolithic loop would be in at this time.
+            while heap and heap[0][0] < horizon:
                 clock, index = heapq.heappop(heap)
                 engine = engines[index]
                 if clock != engine.now:  # stale entry superseded by a re-push
                     continue
                 if engine.advance(
-                    external_next_arrival_ms=arrival, external_pending=True
+                    external_next_arrival_ms=horizon, external_pending=pending
                 ):
                     heapq.heappush(heap, (engine.now, index))
                 else:
                     in_heap[index] = False
+
+        def place(request: Request, healthy_required: bool) -> None:
+            nonlocal failovers
+            previous = assignments.get(request.request_id)
             snapshots = [
                 self._snapshot(index, engine) for index, engine in enumerate(engines)
             ]
-            choice = self.router.route(request, snapshots)
+            if healthy_required:
+                candidates = [s for s in snapshots if s.healthy]
+                if not candidates:
+                    # Whole fleet down: hold the arrival for the next
+                    # recovery — and fail loudly if none is coming.
+                    if not any(
+                        isinstance(e, ReplicaRecover) for e in fault_events[fi:]
+                    ):
+                        raise ValueError(
+                            f"request {request.request_id} has nowhere to go: "
+                            f"every replica is down and the fault schedule "
+                            f"holds no further recovery"
+                        )
+                    deferred.append(request)
+                    return
+            else:
+                candidates = snapshots
+            choice = self.router.route(request, candidates)
             if not isinstance(choice, int) or not 0 <= choice < len(engines):
                 raise RuntimeError(
                     f"router {self.router.name!r} picked replica {choice!r} "
                     f"out of {len(engines)} replicas"
                 )
+            if healthy_required and not engines[choice].healthy:
+                raise RuntimeError(
+                    f"router {self.router.name!r} picked crashed replica "
+                    f"{choice} from a healthy-only candidate list"
+                )
+            if previous is not None and choice != previous:
+                failovers += 1
             assignments[request.request_id] = choice
             engines[choice].inject(request)
-            if not in_heap[choice]:
+            if engines[choice].healthy and not in_heap[choice]:
                 in_heap[choice] = True
                 heapq.heappush(heap, (engines[choice].now, choice))
+
+        def reroute(lost: Sequence[Request], healthy_required: bool) -> None:
+            for request in lost:
+                retry_counts[request.request_id] = (
+                    retry_counts.get(request.request_id, 0) + 1
+                )
+                place(request, healthy_required)
+
+        while ai < num_arrivals or fi < num_faults:
+            if fi < num_faults and (
+                ai >= num_arrivals
+                or fault_events[fi].at_ms <= ordered[ai].arrival_ms
+            ):
+                event = fault_events[fi]
+                fi += 1
+                advance_to(event.at_ms, ai < num_arrivals or bool(deferred))
+                engine = engines[event.replica_id]
+                if isinstance(event, ReplicaCrash):
+                    lost = engine.crash(event.at_ms)
+                    in_heap[event.replica_id] = False
+                    reroute(lost, healthy_only)
+                elif isinstance(event, ReplicaRecover):
+                    engine.recover(event.at_ms)
+                    if not in_heap[event.replica_id]:
+                        in_heap[event.replica_id] = True
+                        heapq.heappush(heap, (engine.now, event.replica_id))
+                    if deferred:
+                        held = deferred[:]
+                        del deferred[:]
+                        for request in held:
+                            if (
+                                request.deadline_ms is not None
+                                and request.deadline_ms <= event.at_ms
+                            ):
+                                # The deadline lapsed during the outage:
+                                # shed instead of serving dead work.
+                                shed_while_down += 1
+                            else:
+                                place(request, healthy_only)
+                else:  # ReplicaSlowdown
+                    engine.slow_down(event.at_ms, event.factor, event.duration_ms)
+            else:
+                request = ordered[ai]
+                ai += 1
+                advance_to(request.arrival_ms, True)
+                place(request, healthy_only)
+        if fault_events:
+            # Final failover: whatever health-blind routing stranded on a
+            # replica still down when the schedule ends would never
+            # finish — evacuate it to the survivors (health stops being
+            # optional here: even a blind frontend eventually declares a
+            # backend dead).
+            for engine in engines:
+                if not engine.healthy and engine.assigned:
+                    reroute(engine.evacuate(), True)
         for engine in engines:
             while engine.advance():
                 pass
+        if fault_events:
+            # Replicas down at the end of the run accrue downtime to the
+            # fleet's last event, so availability reflects the outage.
+            fleet_end = max(engine.now for engine in engines)
+            for engine in engines:
+                engine.close_downtime(fleet_end)
         reports = [engine.report(workload) for engine in engines]
         return ClusterReport(
             model=self.model_config.name,
@@ -447,6 +647,9 @@ class ClusterSimulator:
             num_replicas=len(self.replicas),
             replicas=reports,
             assignments=assignments,
+            retries=sum(retry_counts.values()),
+            failovers=failovers,
+            shed_while_down=shed_while_down,
         )
 
 
@@ -456,8 +659,9 @@ def simulate_cluster(
     replicas: int = 2,
     router: Union[str, Router] = "round-robin",
     workload: str = "custom",
+    faults: Optional[FaultSchedule] = None,
     **kwargs,
 ) -> ClusterReport:
     """One-shot convenience wrapper around :class:`ClusterSimulator`."""
     cluster = ClusterSimulator(model_config, replicas=replicas, router=router, **kwargs)
-    return cluster.simulate(requests, workload=workload)
+    return cluster.simulate(requests, workload=workload, faults=faults)

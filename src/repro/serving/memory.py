@@ -311,3 +311,13 @@ class KvBlockManager:
         freed = self._held.pop(request_id, 0)
         self._used -= freed
         return freed
+
+    def reset(self) -> None:
+        """Drop every holding at once — the replica-crash wipe.
+
+        The pool is empty afterwards, as if freshly constructed;
+        ``peak_used_blocks`` survives, it describes the run's high-water
+        mark, not the current pool.
+        """
+        self._held.clear()
+        self._used = 0

@@ -216,3 +216,22 @@ class PrefixStore:
             self._reclaimable[key] = None
             self._referenced_blocks -= entry.blocks
             self._reclaimable_blocks += entry.blocks
+
+    def clear(self) -> None:
+        """Wipe every resident entry — the replica-crash reset path.
+
+        Releases each entry's blocks back to the manager (referenced
+        entries included: a crash kills the requests holding them too)
+        and zeroes the residency maps and incremental block sums, so a
+        recovered replica starts from an empty cache with conserved pool
+        accounting.  The cumulative counters (hits, misses, evictions,
+        blocks saved, peak residency) survive — they describe the run,
+        not the pool.
+        """
+        manager = self.manager
+        for entry in self._entries.values():
+            manager.release(entry.entry_id)
+        self._entries.clear()
+        self._reclaimable.clear()
+        self._referenced_blocks = 0
+        self._reclaimable_blocks = 0

@@ -14,7 +14,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.reporting.tables import TableRow, format_table
 
@@ -44,7 +44,14 @@ def percentile(values: Sequence[float], pct: float) -> float:
 
 @dataclass(frozen=True, slots=True)
 class RequestMetrics:
-    """The lifecycle of one completed request."""
+    """The lifecycle of one completed request.
+
+    ``deadline_ms`` carries the request's optional hard deadline so
+    goodput can tell useful completions from too-late ones.  It is
+    deliberately absent from :meth:`record` — the digest hashes the
+    pre-fault trace fields only, so deadline-free runs digest identically
+    to the pre-fault engine.
+    """
 
     request_id: int
     arrival_ms: float
@@ -54,6 +61,7 @@ class RequestMetrics:
     prompt_tokens: int
     output_tokens: int
     slo_ms: float
+    deadline_ms: Optional[float] = None
 
     @property
     def latency_ms(self) -> float:
@@ -73,6 +81,12 @@ class RequestMetrics:
     @property
     def slo_met(self) -> bool:
         return self.latency_ms <= self.slo_ms
+
+    @property
+    def deadline_met(self) -> bool:
+        """Whether the request finished by its hard deadline (always True
+        without one) — the goodput criterion."""
+        return self.deadline_ms is None or self.finish_ms <= self.deadline_ms
 
     def record(self) -> list:
         """A bit-exact serializable form (floats as hex) for digesting."""
@@ -122,6 +136,12 @@ class ServeReport:
     prefix_blocks_saved: int = 0
     prefix_evictions: int = 0
     prefix_resident_peak: int = 0
+    # Robustness rollups (zeros on a fault-free run).  Also outside
+    # digest(), same reasoning again: a run with an empty fault schedule
+    # and no deadlines must digest identically to faults=None.
+    shed: int = 0
+    crashes: int = 0
+    downtime_ms: float = 0.0
 
     # ------------------------------------------------------------------ #
     @property
@@ -160,6 +180,25 @@ class ServeReport:
         (0.0 when the workload declared no prefixes)."""
         lookups = self.prefix_hits + self.prefix_misses
         return self.prefix_hits / lookups if lookups else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the serve this replica was up (1.0 fault-free)."""
+        if self.duration_ms <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.downtime_ms / self.duration_ms)
+
+    @property
+    def goodput_tok_s(self) -> float:
+        """Throughput counting useful work only: tokens of completed,
+        non-shed requests that met their hard deadline (shed requests
+        generate nothing; a deadline-carrying request that finished late
+        produced tokens nobody wanted).  Equal to ``throughput_tok_s``
+        when no request carries a deadline."""
+        if self.duration_ms <= 0:
+            return 0.0
+        useful = sum(m.output_tokens for m in self.requests if m.deadline_met)
+        return useful / (self.duration_ms / 1000.0)
 
     # ------------------------------------------------------------------ #
     def digest(self) -> str:
@@ -255,6 +294,12 @@ class ServeReport:
             text += (
                 f", prefix hit rate {self.prefix_hit_rate * 100.0:.0f}% "
                 f"({self.prefix_blocks_saved} blocks saved)"
+            )
+        if self.crashes or self.shed:
+            text += (
+                f", {self.crashes} crashes ({self.downtime_ms / 1000.0:.1f} s down, "
+                f"availability {self.availability * 100.0:.1f}%), "
+                f"{self.shed} shed, goodput {self.goodput_tok_s:.1f} tok/s"
             )
         return text
 

@@ -84,6 +84,14 @@ class ReplicaSnapshot:
     prefix resident in the replica's prefix cache — empty unless the
     replica runs prefix caching and some prefix is resident.  This is
     what :class:`PrefixAffinityRouter` keys on.
+
+    ``healthy`` is ``False`` while the replica is crashed
+    (:mod:`repro.serving.faults`).  Under the cluster's default
+    health-aware routing, routers only ever *see* healthy snapshots —
+    every policy fails over automatically with no health logic of its own
+    (a crashed replica's wiped prefix store also empties
+    ``resident_prefixes``, so affinity can never key on a dead cache).
+    The health-blind baseline passes unfiltered snapshots instead.
     """
 
     replica_id: int
@@ -97,6 +105,7 @@ class ReplicaSnapshot:
     preemptions: int
     finished: int
     resident_prefixes: Mapping[str, int] = field(default_factory=dict)
+    healthy: bool = True
 
     @property
     def load(self) -> int:
@@ -108,6 +117,16 @@ class ReplicaSnapshot:
         """Blocks not yet spoken for by any outstanding request's worst
         case — may go negative on an oversubscribed replica."""
         return self.kv_total_blocks - self.kv_reserved_blocks
+
+
+def _require_replicas(replicas: List[ReplicaSnapshot]) -> None:
+    """Routing into an empty candidate list is a caller bug: the cluster
+    defers arrivals while the whole fleet is down rather than asking."""
+    if not replicas:
+        raise ValueError(
+            "route() needs at least one replica snapshot "
+            "(is the whole fleet down?)"
+        )
 
 
 class Router:
@@ -152,6 +171,7 @@ class RoundRobinRouter(Router):
         self._cursor = 0
 
     def route(self, request, replicas):
+        _require_replicas(replicas)
         choice = replicas[self._cursor % len(replicas)].replica_id
         self._cursor += 1
         return choice
@@ -163,6 +183,7 @@ class LeastLoadedRouter(Router):
     name = "least-loaded"
 
     def route(self, request, replicas):
+        _require_replicas(replicas)
         return min(replicas, key=lambda s: (s.load, s.replica_id)).replica_id
 
 
@@ -184,6 +205,7 @@ class KvAwareRouter(Router):
     name = "kv-aware"
 
     def route(self, request, replicas):
+        _require_replicas(replicas)
         if all(s.kv_total_blocks == 0 for s in replicas):
             return min(replicas, key=lambda s: (s.load, s.replica_id)).replica_id
         return min(
@@ -212,6 +234,7 @@ class PowerOfTwoRouter(Router):
         self._rng = random.Random(seed)
 
     def route(self, request, replicas):
+        _require_replicas(replicas)
         if len(replicas) == 1:
             return replicas[0].replica_id
         first, second = self._rng.sample(range(len(replicas)), 2)
@@ -250,6 +273,7 @@ class PrefixAffinityRouter(Router):
         self._fallback.reset(num_replicas, seed)
 
     def route(self, request, replicas):
+        _require_replicas(replicas)
         prefix_id = getattr(request, "prefix_id", None)
         if prefix_id is not None:
             holders = [

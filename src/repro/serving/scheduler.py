@@ -182,13 +182,13 @@ class SloScheduler(Scheduler):
         # nsmallest == sorted(...)[:free_slots] (the key is unique per
         # request), without sorting a deep backlog to admit a handful.
         return heapq.nsmallest(
-            free_slots, waiting, key=lambda r: (r.deadline_ms, r.request_id)
+            free_slots, waiting, key=lambda r: (r.slo_deadline_ms, r.request_id)
         )
 
     def preempt_order(self, running, now_ms):
         # The mirror of EDF admission: sacrifice the slackest deadline first.
         return sorted(
-            running, key=lambda s: (-s.request.deadline_ms, -s.request.request_id)
+            running, key=lambda s: (-s.request.slo_deadline_ms, -s.request.request_id)
         )
 
 

@@ -255,6 +255,21 @@ class ReplicaEngine:
         self.max_queue_depth = 0
         self.preemptions = 0
         self.kv_utilization_sum = 0.0
+        # Fault state (repro.serving.faults): a crashed replica refuses to
+        # advance until recover(); a slowdown scales decode-step latency
+        # while its window is open.  ``shed`` holds the ids of requests
+        # dropped past their hard deadline.  All of it is inert — and the
+        # hot loop's checks short-circuit — unless faults or deadlines are
+        # actually injected, which is what keeps fault-free runs
+        # bit-identical to the pre-fault engine.
+        self.healthy = True
+        self.crashes = 0
+        self.downtime_ms = 0.0
+        self._down_since = -1.0
+        self._slow_factor = 1.0
+        self._slow_until_ms = 0.0
+        self.shed: List[int] = []
+        self._has_deadlines = any(r.deadline_ms is not None for r in requests)
         # batch size -> step latency, per engine: the model config and
         # backend are fixed for the engine's lifetime, so this avoids the
         # step model's bucket resolution + lock + defensive dict copy on
@@ -283,7 +298,90 @@ class ReplicaEngine:
             self._reserved_blocks += self.manager.blocks_for(
                 request.prompt_tokens + request.output_tokens
             )
+        if request.deadline_ms is not None:
+            self._has_deadlines = True
         self.queue.push(request)
+
+    # ------------------------------------------------------------------ #
+    # Fault injection (repro.serving.faults): the cluster applies timed
+    # ReplicaCrash / ReplicaRecover / ReplicaSlowdown events through these.
+    def crash(self, at_ms: float) -> List[Request]:
+        """Kill the replica at ``at_ms``: wipe its KV pool and prefix
+        cache, drop every request it owns and refuse to advance until
+        :meth:`recover`.
+
+        Returns the lost requests (queued, waiting and mid-decode alike)
+        in arrival order so the cluster can re-route them — a lost
+        generation restarts from its prompt wherever it lands, the crash
+        analogue of preemption's recompute-on-readmit.
+        """
+        if not self.healthy:
+            raise ValueError(f"replica {self.replica_id} is already down")
+        lost: List[Request] = list(self.queue)
+        lost.extend(self._waiting_reqs)
+        lost.extend(s.request for s in self.running)
+        lost.sort(key=_arrival_key)
+        self.queue = RequestQueue(())
+        self.waiting = []
+        self._waiting_reqs = []
+        self.running = []
+        if self.prefix_store is not None:
+            self.prefix_store.clear()
+        if self.manager is not None:
+            self.manager.reset()
+        self._reserved_blocks = 0
+        self.healthy = False
+        self.crashes += 1
+        if at_ms > self.now:
+            self.now = at_ms
+        self._down_since = self.now
+        return lost
+
+    def recover(self, at_ms: float) -> None:
+        """Bring a crashed replica back at ``at_ms`` with an empty pool.
+
+        Requests injected while it was down (health-blind routing) are
+        still queued and start being served now; the accumulated outage
+        lands in ``downtime_ms``.
+        """
+        if self.healthy:
+            raise ValueError(f"replica {self.replica_id} is not down")
+        if at_ms > self.now:
+            self.now = at_ms
+        self.downtime_ms += max(0.0, self.now - self._down_since)
+        self._down_since = -1.0
+        self.healthy = True
+
+    def close_downtime(self, at_ms: float) -> None:
+        """Account the outage of a replica still down at the end of a run
+        (its schedule held no further recovery); a no-op on healthy or
+        already-closed replicas."""
+        if not self.healthy and self._down_since >= 0.0:
+            self.downtime_ms += max(0.0, at_ms - self._down_since)
+            self._down_since = -1.0
+
+    def evacuate(self) -> List[Request]:
+        """Pull every request still assigned to a down replica.
+
+        The cluster's final failover: when the schedule ends with this
+        replica down, whatever health-blind routing queued on it would
+        otherwise never finish.  Waiting and running are already empty
+        (wiped at crash; a down engine never advances), so only the
+        arrival queue can hold work.
+        """
+        if self.healthy:
+            raise ValueError(f"replica {self.replica_id} is up; nothing to evacuate")
+        lost = list(self.queue)
+        self.queue = RequestQueue(())
+        self._reserved_blocks = 0
+        return lost
+
+    def slow_down(self, at_ms: float, factor: float, duration_ms: float) -> None:
+        """Scale this replica's decode-step latency by ``factor`` over
+        ``[at_ms, at_ms + duration_ms)`` (straggler modeling).  A later
+        slowdown replaces the current one."""
+        self._slow_factor = factor
+        self._slow_until_ms = at_ms + duration_ms
 
     @property
     def idle(self) -> bool:
@@ -544,8 +642,8 @@ class ReplicaEngine:
         external_next_arrival_ms: Optional[float] = None,
         external_pending: bool = False,
     ) -> bool:
-        """Run one engine iteration; ``False`` when blocked or drained."""
-        if self.idle:
+        """Run one engine iteration; ``False`` when blocked, down or drained."""
+        if not self.healthy or self.idle:
             return False
         sim = self.sim
         manager = self.manager
@@ -555,18 +653,54 @@ class ReplicaEngine:
         arrived = self.queue.pop_arrived(self.now)
         if arrived:
             # The queue pops in (arrival_ms, request_id) order with a
-            # monotone frontier, so this batch compares above everything
-            # already in ``waiting`` (earlier pops and preemption
-            # readmits of earlier pops) — appending preserves the sorted
-            # invariant with no re-sort.
-            waiting.extend(_ActiveRequest(r) for r in arrived)
-            waiting_reqs.extend(arrived)
+            # monotone frontier, so this batch normally compares above
+            # everything already in ``waiting`` (earlier pops and
+            # preemption readmits of earlier pops) and appending
+            # preserves the sorted invariant with no re-sort.  The one
+            # exception is a crash retry: a request lost on another
+            # replica re-enters routing with its *original* arrival time,
+            # which may precede keys already popped here — bisect the
+            # batch in instead (only ever taken under injected faults).
+            if waiting_reqs and _arrival_key(arrived[0]) < _arrival_key(waiting_reqs[-1]):
+                for r in arrived:
+                    index = bisect_left(waiting_reqs, _arrival_key(r), key=_arrival_key)
+                    waiting.insert(index, _ActiveRequest(r))
+                    waiting_reqs.insert(index, r)
+            else:
+                waiting.extend(_ActiveRequest(r) for r in arrived)
+                waiting_reqs.extend(arrived)
+
+        if self._has_deadlines and waiting_reqs:
+            # Deadline-driven load shedding: a request still waiting past
+            # its hard deadline is hopeless — drop it (counted as shed,
+            # not served) rather than let it clog the queue.  Requests
+            # already decoding run to completion.  Never entered unless
+            # some request actually carries a deadline.
+            now = self.now
+            kept = [
+                s
+                for s in waiting
+                if s.request.deadline_ms is None or s.request.deadline_ms > now
+            ]
+            if len(kept) != len(waiting):
+                for state in waiting:
+                    r = state.request
+                    if r.deadline_ms is not None and r.deadline_ms <= now:
+                        self.shed.append(r.request_id)
+                        if manager is not None:
+                            self._reserved_blocks -= manager.blocks_for(
+                                r.prompt_tokens + r.output_tokens
+                            )
+                self.waiting = waiting = kept
+                self._waiting_reqs = waiting_reqs = [s.request for s in kept]
 
         if not waiting and not self.running:
             # Fully idle: jump to the next (local or external) arrival.
             hints = [self.queue.next_arrival_ms, external_next_arrival_ms]
             wake = min((t for t in hints if t is not None and t > self.now), default=None)
-            if wake is None:  # pragma: no cover - defensive; idle check above
+            if wake is None:
+                # Only reachable when shedding just emptied the engine
+                # (the idle check at the top saw the now-shed requests).
                 return False
             self.now = wake
             return True
@@ -687,6 +821,15 @@ class ReplicaEngine:
         if step_ms is None:
             step_ms = sim.step_model.step_latency_ms(sim.model_config, sim.backend, batch)
             self._step_cache[batch] = step_ms
+        if self._slow_factor != 1.0:
+            # Straggler window (ReplicaSlowdown): scale the step — prefill
+            # surcharge included, it runs on the same slowed replica.  The
+            # factor stays exactly 1.0 unless a slowdown was injected, so
+            # fault-free steps never even multiply.
+            if self.now < self._slow_until_ms:
+                step_ms = step_ms * self._slow_factor
+            else:
+                self._slow_factor = 1.0
         if joining:
             prefill_tokens = sum(s.request.prompt_tokens for s in joining)
             self.now += step_ms + (
@@ -731,6 +874,7 @@ class ReplicaEngine:
                         prompt_tokens=request.prompt_tokens,
                         output_tokens=request.output_tokens,
                         slo_ms=request.slo_ms,
+                        deadline_ms=request.deadline_ms,
                     )
                 )
             else:
@@ -781,6 +925,9 @@ class ReplicaEngine:
             prefix_blocks_saved=store.blocks_saved if store is not None else 0,
             prefix_evictions=store.evictions if store is not None else 0,
             prefix_resident_peak=store.peak_resident if store is not None else 0,
+            shed=len(self.shed),
+            crashes=self.crashes,
+            downtime_ms=self.downtime_ms,
         )
 
 

@@ -27,7 +27,12 @@ a continuous-batching engine is exercised with:
   with a fleet-wide system prompt plus a per-tenant template, declared via
   ``Request.prefix_id`` so the prefix-cache subsystem
   (:mod:`repro.serving.prefix`) can share those KV blocks across requests
-  (the multi-tenant "everyone carries the same system prompt" regime).
+  (the multi-tenant "everyone carries the same system prompt" regime);
+* :func:`deadline_workload` — steady Poisson arrivals where every request
+  carries a *hard* ``deadline_ms`` (a multiple of its SLO budget), so a
+  degraded fleet sheds hopeless requests instead of queueing them forever
+  (the graceful-degradation regime the fault-injection subsystem,
+  :mod:`repro.serving.faults`, exercises).
 
 **Determinism contract.** Every generator draws from a private
 ``random.Random(seed)``, so a given ``(generator, parameters, seed)``
@@ -52,6 +57,7 @@ __all__ = [
     "RequestQueue",
     "WORKLOADS",
     "bursty_workload",
+    "deadline_workload",
     "diurnal_workload",
     "heavy_tail_workload",
     "make_workload",
@@ -77,6 +83,15 @@ class Request:
     (:mod:`repro.serving.prefix`) and an affinity router can steer equal
     ids to the replica already holding them.  The defaults mean "no
     shared prefix" and preserve every pre-prefix digest.
+
+    ``deadline_ms`` is an optional *hard* deadline (absolute simulated
+    time): a request still waiting when it passes is **shed** — dropped
+    and counted as shed, not served — so an overloaded or degraded fleet
+    degrades gracefully instead of queueing hopeless work.  It is
+    distinct from the soft SLO (:attr:`slo_deadline_ms` =
+    ``arrival_ms + slo_ms``), which schedulers optimize for but never
+    enforce.  ``None`` (the default) means "never shed" and preserves
+    every pre-fault digest.
     """
 
     request_id: int
@@ -86,6 +101,7 @@ class Request:
     slo_ms: float
     prefix_id: Optional[str] = None
     prefix_tokens: int = 0
+    deadline_ms: Optional[float] = None
 
     def __post_init__(self):
         if self.prompt_tokens < 1 or self.output_tokens < 1:
@@ -105,9 +121,16 @@ class Request:
             raise ValueError(
                 f"request {self.request_id}: prefix_tokens without a prefix_id"
             )
+        if self.deadline_ms is not None and self.deadline_ms <= self.arrival_ms:
+            raise ValueError(
+                f"request {self.request_id}: deadline_ms ({self.deadline_ms}) "
+                f"must be after arrival_ms ({self.arrival_ms})"
+            )
 
     @property
-    def deadline_ms(self) -> float:
+    def slo_deadline_ms(self) -> float:
+        """The soft (SLO) deadline earliest-deadline-first scheduling keys
+        on — always defined, never enforced (contrast ``deadline_ms``)."""
         return self.arrival_ms + self.slo_ms
 
 
@@ -481,6 +504,45 @@ def prefix_shared_workload(
     return requests
 
 
+def deadline_workload(
+    num_requests: int = 64,
+    rate_rps: float = 4.0,
+    mean_prompt_tokens: int = 512,
+    mean_output_tokens: int = 64,
+    deadline_factor: float = 2.0,
+    slo_ms: Optional[float] = None,
+    seed: int = 0,
+) -> List[Request]:
+    """Steady Poisson arrivals where every request carries a hard deadline.
+
+    Each request's ``deadline_ms`` is its arrival plus ``deadline_factor``
+    times its (per-request) SLO budget — generous enough that a healthy,
+    adequately provisioned fleet finishes everything, tight enough that a
+    fleet degraded by crashes or stragglers sheds the requests it can no
+    longer serve in time instead of queueing them indefinitely.  Arrival
+    times and token counts are drawn identically to
+    :func:`steady_workload` at the same seed — the deadlines only add the
+    shedding bound — so comparing the two isolates the deadline policy on
+    the *same* traffic.
+    """
+    if deadline_factor <= 0:
+        raise ValueError(f"deadline_factor must be > 0, got {deadline_factor}")
+    base = steady_workload(
+        num_requests=num_requests,
+        rate_rps=rate_rps,
+        mean_prompt_tokens=mean_prompt_tokens,
+        mean_output_tokens=mean_output_tokens,
+        slo_ms=slo_ms,
+        seed=seed,
+    )
+    return [
+        dataclasses.replace(
+            r, deadline_ms=round(r.arrival_ms + deadline_factor * r.slo_ms, 6)
+        )
+        for r in base
+    ]
+
+
 WORKLOADS: Dict[str, Callable[..., List[Request]]] = {
     "steady": steady_workload,
     "bursty": bursty_workload,
@@ -488,12 +550,13 @@ WORKLOADS: Dict[str, Callable[..., List[Request]]] = {
     "memory-pressure": memory_pressure_workload,
     "diurnal": diurnal_workload,
     "prefix-shared": prefix_shared_workload,
+    "deadline": deadline_workload,
 }
 
 
 def make_workload(name: str, **kwargs) -> List[Request]:
     """Build a named workload (``steady``, ``bursty``, ``heavy-tail``,
-    ``memory-pressure``, ``diurnal``, ``prefix-shared``)."""
+    ``memory-pressure``, ``diurnal``, ``prefix-shared``, ``deadline``)."""
     try:
         generator = WORKLOADS[name]
     except KeyError:

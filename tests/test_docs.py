@@ -103,6 +103,23 @@ def test_documented_router_names_match_registry():
     )
 
 
+def test_documented_fault_api_names_exist():
+    """The fault-injection section must document the real event API —
+    every name it teaches is importable from ``repro.serving``."""
+    import repro.serving as serving
+
+    text = (REPO_ROOT / "docs" / "serving.md").read_text(encoding="utf-8")
+    section = text.split("## Fault injection & recovery", 1)
+    assert len(section) == 2, "docs/serving.md lost its fault-injection section"
+    body = section[1].split("\n## ", 1)[0]
+    for name in ("FaultSchedule", "ReplicaCrash", "ReplicaRecover",
+                 "ReplicaSlowdown", "health_aware", "deadline_ms"):
+        assert name in body, f"fault section no longer mentions {name}"
+    for name in ("FaultSchedule", "ReplicaCrash", "ReplicaRecover",
+                 "ReplicaSlowdown"):
+        assert hasattr(serving, name), f"repro.serving no longer exports {name}"
+
+
 def test_readme_states_the_tier1_verify_command():
     text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     assert "PYTHONPATH=src python -m pytest -x -q" in text
