@@ -10,7 +10,13 @@ plus two smoke checks:
 * the branch-and-bound regression guard (``--smoke``, run in CI): the cold
   compile of the fig22 GEMM config must finish with strictly fewer full
   leaf evaluations than ``candidates_explored`` under the old (flat
-  enumeration) scheme, while choosing a bit-identical candidate.
+  enumeration) scheme, while choosing a bit-identical candidate;
+* the per-backend compile-time report (``--smoke``): the same GEMM compiled
+  cold then warm through every registered codegen backend (on an arch that
+  declares it) via one shared cache — every backend's warm recompile must
+  be a cache replay at least 2x faster than its cold compile, the emitted
+  sources must differ across backends, and the arch registry must cover
+  every backend in ``repro.codegen.BACKENDS``.
 
 Run as a script for the standalone modes::
 
@@ -209,6 +215,68 @@ def run_smoke() -> int:
     return 1 if failures else 0
 
 
+def run_backend_compile_times() -> int:
+    """Per-backend cold/warm compile times through one shared cache.
+
+    The same GEMM program is compiled once per registered backend, on an
+    architecture that declares that backend (a100 -> cuda, mi300 -> rocm,
+    cpu-sim -> cpu-sim), then recompiled from an equivalent rebuilt
+    program.  The warm path must replay out of the cache at least 2x
+    faster, the per-backend cache entries must not collide (distinct
+    emitted sources prove distinct entries), and the arch registry must
+    cover every backend — a new backend without a compiling arch fails
+    here before it fails anywhere subtler.
+    """
+    from repro.codegen import BACKENDS
+
+    archs = ("a100", "mi300", "cpu-sim")
+    covered = {get_arch(a).backend for a in archs}
+    failures = []
+    if covered != set(BACKENDS):
+        failures.append(
+            f"arch sweep covers backends {sorted(covered)}, registry has "
+            f"{sorted(BACKENDS)}"
+        )
+    m, n, k = PROBLEM
+    cache = CompileCache()
+    sources = {}
+    print("per-backend compile times (shared cache, "
+          f"{m}x{n}x{k} GEMM, bm={CONFIG.bm} bn={CONFIG.bn} bk={CONFIG.bk}):")
+    for arch in archs:
+        backend = get_arch(arch).backend
+        program = build_fp16_gemm(m, n, k, CONFIG)
+        start = time.perf_counter()
+        cold = compile_kernel(program, arch=arch, max_candidates=MAX_CANDIDATES, cache=cache)
+        cold_s = time.perf_counter() - start
+        rebuilt = build_fp16_gemm(m, n, k, CONFIG)
+        start = time.perf_counter()
+        warm = compile_kernel(rebuilt, arch=arch, max_candidates=MAX_CANDIDATES, cache=cache)
+        warm_s = time.perf_counter() - start
+        sources[backend] = cold.source
+        print(f"  {backend:8s} ({arch:7s}): cold {cold_s * 1000:7.1f} ms, "
+              f"warm {warm_s * 1000:6.1f} ms ({cold_s / max(warm_s, 1e-9):5.1f}x), "
+              f"{cold.candidates_explored} candidates explored")
+        if not warm.cache_hit:
+            failures.append(f"{backend} warm recompile missed the cache")
+        if warm.source != cold.source:
+            failures.append(f"{backend} warm recompile is not bit-identical")
+        if warm_s * 2 > cold_s:
+            failures.append(
+                f"{backend} warm recompile not >=2x faster "
+                f"({cold_s * 1000:.1f} ms vs {warm_s * 1000:.1f} ms)"
+            )
+    if len(set(sources.values())) != len(sources):
+        failures.append(
+            "two backends emitted identical source from one cache — "
+            "backend-keyed cache entries are colliding"
+        )
+    for failure in failures:
+        print(f"  FAIL: {failure}")
+    if not failures:
+        print("  OK: every backend replays warm out of its own cache entries")
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -218,7 +286,9 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     if args.smoke:
-        return run_smoke()
+        code = run_smoke()
+        print()
+        return max(code, run_backend_compile_times())
     parser.error("choose a mode (--smoke); the timing harness runs under pytest")
 
 

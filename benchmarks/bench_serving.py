@@ -28,7 +28,12 @@ must not lose to ``round-robin`` on p99 latency; and a **fault-tolerance**
 cell under a fixed crash/recovery schedule must digest bit-equal across
 two runs, report availability < 1 with goodput > 0 while conserving every
 request, and with an *empty* schedule digest identically to
-``faults=None``.  Any violation exits nonzero.
+``faults=None``; and a **cross-backend** cell must serve the same seeded
+workload through the ``cpu-sim`` codegen backend digest-stably (and
+distinctly from the cuda serve), a ``lazy=True`` step model must serve
+digest-identically to the eager precompiled model, and the lazy serve
+must compile strictly fewer bucket cells than ``precompile()`` covers.
+Any violation exits nonzero.
 
 Run with:  PYTHONPATH=src python benchmarks/bench_serving.py [--smoke]
 """
@@ -380,6 +385,100 @@ def run_fault_tolerance_check(args, config, step_model, failures: List[str]):
     return [report]
 
 
+def run_cross_backend_check(
+    args, configs, eager_model, buckets, num_requests: int, max_batch: int,
+    failures: List[str],
+):
+    """The backend-registry smoke cell.
+
+    (a) **cuda vs cpu-sim sweep**: the same seeded workload served on the
+    ``cpu-sim`` arch — kernel compilation dispatches through the cpu
+    codegen backend — must be digest-stable across two runs and must not
+    collide with the cuda serve's digest.  (b) **lazy vs eager**: a
+    ``lazy=True`` step model (cold cache, nothing precompiled) must
+    produce bit-identical serve digests to the eager precompiled model.
+    (c) **lazy compiles less**: the lazy serve must compile strictly
+    fewer (config, backend, bucket) cells than the eager
+    ``precompile()`` fan-out covers.
+    """
+    # Prefer an fp16 model: the cpu-sim arch sits on the pre-Hopper
+    # instruction tier, so fp8 FFN kernels are not compilable there.
+    config = next((c for c in configs if c.weight_dtype == "fp16"), configs[0])
+    workload = build_workload(args, num_requests)
+
+    def serve(step_model, arch, scheduler="fcfs"):
+        sim = ServingSimulator(
+            config,
+            backend="hexcute",
+            scheduler=scheduler,
+            arch=arch,
+            max_batch_size=max_batch,
+            step_model=step_model,
+        )
+        return sim.simulate(workload, workload=args.workload)
+
+    # (a) the cpu-sim serve, lazily compiled through the cpu backend.
+    cpu_model = StepLatencyModel(
+        arch="cpu-sim", buckets=buckets, cache=CompileCache(max_entries=2048),
+        lazy=True,
+    )
+    cpu_report = serve(cpu_model, "cpu-sim")
+    cuda_report = serve(eager_model, args.arch)
+    if cpu_report.digest() != serve(cpu_model, "cpu-sim").digest():
+        failures.append(f"nondeterministic cpu-sim serve: {cpu_report.label()}")
+    if cpu_report.digest() == cuda_report.digest():
+        failures.append(
+            "cpu-sim serve digest collides with the cuda serve — the arch/"
+            "backend is not reaching the report"
+        )
+    if cpu_model.buckets_compiled <= 0:
+        failures.append("cpu-sim serve never compiled a bucket cell")
+    print(cpu_report.summary())
+
+    # (b) + (c) lazy vs eager on the primary arch, from a cold cache.
+    lazy_model = StepLatencyModel(
+        arch=args.arch, buckets=buckets, cache=CompileCache(max_entries=2048),
+        lazy=True,
+    )
+    lazy_stats = lazy_model.precompile([config])
+    if lazy_stats.compiled != 0 or lazy_stats.errors != 0:
+        failures.append(
+            f"lazy precompile did not defer (compiled={lazy_stats.compiled}, "
+            f"errors={lazy_stats.errors})"
+        )
+    if lazy_model.compiles_deferred <= 0:
+        failures.append("lazy precompile on a cold cache deferred nothing")
+    for scheduler in ("fcfs", "slo"):
+        lazy_report = serve(lazy_model, args.arch, scheduler)
+        eager_report = serve(eager_model, args.arch, scheduler)
+        if lazy_report.digest() != eager_report.digest():
+            failures.append(
+                f"lazy serve not bit-identical to eager ({scheduler}): "
+                f"{lazy_report.digest()} vs {eager_report.digest()}"
+            )
+        if lazy_report.buckets_compiled <= 0:
+            failures.append(f"lazy serve reported no compiled buckets ({scheduler})")
+        if eager_report.buckets_compiled != 0 or eager_report.compiles_deferred != 0:
+            failures.append(
+                f"eager serve carries lazy counters ({scheduler}): "
+                f"{eager_report.buckets_compiled}/{eager_report.compiles_deferred}"
+            )
+    eager_cells = len(configs) * len(buckets)
+    if not lazy_model.buckets_compiled < eager_cells:
+        failures.append(
+            f"lazy serving compiled {lazy_model.buckets_compiled} bucket cells, "
+            f"not strictly fewer than the {eager_cells} eager precompile covers"
+        )
+    print(
+        f"cross-backend: cpu-sim digest stable and distinct from cuda "
+        f"({cpu_model.buckets_compiled} cpu bucket cells compiled lazily); "
+        f"lazy == eager digests on fcfs/slo with "
+        f"{lazy_model.buckets_compiled}/{eager_cells} bucket cells compiled "
+        f"({lazy_model.compiles_deferred} tile programs deferred at startup)"
+    )
+    return [cpu_report]
+
+
 def run_profile(args) -> int:
     """cProfile one representative serve: where does a simulated second go?
 
@@ -543,6 +642,22 @@ def main(argv=None) -> int:
         format_cluster_reports(
             f"Fault tolerance: mid-run crash, 2 replicas, {configs[0].name} ({args.arch})",
             fault_reports,
+        )
+    )
+
+    # ------------------------------------------------------------------ #
+    # Cross-backend: cpu-sim codegen serve + lazy-vs-eager compilation.
+    # ------------------------------------------------------------------ #
+    print()
+    cross_reports = run_cross_backend_check(
+        args, configs, warm_model, buckets, num_requests, max_batch, failures
+    )
+    print()
+    print(
+        format_reports(
+            f"Cross-backend: {args.workload} x{num_requests}, cpu-sim codegen "
+            f"({cross_reports[0].model})",
+            cross_reports,
         )
     )
 

@@ -1,5 +1,33 @@
-"""Lowering and CUDA-like source emission for compiled tile programs."""
+"""Lowering and source emission for compiled tile programs.
 
+Emission dispatches through the :class:`~repro.codegen.backend.Backend`
+registry (``BACKENDS``/:func:`~repro.codegen.backend.get_backend`): the
+original annotated pseudo-CUDA emitter (``cuda``), a HIP-flavored CDNA
+emitter (``rocm``) and a vectorized-loop pseudo-C emitter with no
+shared-memory stage (``cpu-sim``).  Architectures declare which backend
+they compile through (:attr:`repro.sim.arch.GpuArch.backend`).
+"""
+
+from repro.codegen.backend import (
+    BACKENDS,
+    Backend,
+    CpuSimBackend,
+    CudaBackend,
+    RocmBackend,
+    get_backend,
+)
+from repro.codegen.cpu_emitter import emit_cpu_source
 from repro.codegen.cuda_emitter import emit_cuda_source
+from repro.codegen.rocm_emitter import emit_rocm_source
 
-__all__ = ["emit_cuda_source"]
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "CpuSimBackend",
+    "CudaBackend",
+    "RocmBackend",
+    "emit_cpu_source",
+    "emit_cuda_source",
+    "emit_rocm_source",
+    "get_backend",
+]

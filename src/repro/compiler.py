@@ -148,13 +148,17 @@ def compile_kernel(
     copy_width_cap=None,
     use_cache: bool = True,
     cache=None,
+    backend=None,
 ) -> CompiledKernel:
     """Run the full Hexcute pipeline on a tile program.
 
-    ``arch`` accepts ``"a100"``/``"h100"`` names, SM numbers (``80``/``90``)
-    or a :class:`GpuArch`, defaulting to
+    ``arch`` accepts ``"a100"``/``"h100"``/``"mi300"``/``"cpu-sim"`` names,
+    SM numbers (``80``/``90``) or a :class:`GpuArch`, defaulting to
     :data:`repro.sim.arch.DEFAULT_ARCH` (``"a100"``) like every other
-    compile entry point.  ``copy_width_cap`` is an optional hook ``Copy -> Optional[int]`` limiting
+    compile entry point.  ``backend`` overrides the architecture's declared
+    codegen backend (a ``repro.codegen.BACKENDS`` name or instance); the
+    compile cache keys on the resolved backend, so targets never share
+    entries.  ``copy_width_cap`` is an optional hook ``Copy -> Optional[int]`` limiting
     the vector width considered for specific copies; the baseline/ablation
     harnesses use it to emulate compilers with weaker layout systems.
     Setting it, or ``keep_alternatives``, bypasses the compile cache; pass
@@ -177,4 +181,5 @@ def compile_kernel(
         instructions=instructions,
         options=options,
         cache=cache,
+        backend=backend,
     )

@@ -14,6 +14,9 @@ The per-operator latency functions live in
 the process-wide memoized :class:`~repro.serving.step_model.StepLatencyModel`,
 so repeated calls at the same (config, batch, backend, arch) are near-free
 and the serving simulator and the Fig. 13 harness share one latency source.
+Kernel compilation inside those operators targets the codegen backend the
+architecture declares (:attr:`repro.sim.arch.GpuArch.backend`), so the same
+composition evaluated on e.g. ``mi300`` compiles through the rocm emitter.
 """
 
 from __future__ import annotations

@@ -167,6 +167,7 @@ def autotune_compile(
     instructions=None,
     max_workers: Optional[int] = None,
     cache=None,
+    backend=None,
     **compile_options,
 ) -> TuneResult:
     """Batch-compile a tile sweep through the pipeline and keep the fastest.
@@ -174,8 +175,10 @@ def autotune_compile(
     ``build_program`` maps a candidate parameter dict to a
     :class:`KernelProgram`; the built programs are compiled together via
     :func:`repro.pipeline.compile_many` (parallel across distinct
-    fingerprints, cache hits replayed).  Build or compile failures become
-    infeasible trials carrying their exception message.
+    fingerprints, cache hits replayed).  ``backend`` overrides the
+    architecture's declared codegen backend for the whole sweep.  Build or
+    compile failures become infeasible trials carrying their exception
+    message.
     """
     from repro.pipeline.driver import compile_many
 
@@ -200,6 +203,7 @@ def autotune_compile(
         cache=cache,
         max_workers=max_workers,
         return_errors=True,
+        backend=backend,
         **compile_options,
     )
     for index, outcome in zip(indices, outcomes):

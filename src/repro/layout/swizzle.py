@@ -103,22 +103,38 @@ class ComposedLayout:
         return f"{self.swizzle} o {self.base}"
 
 
-def candidate_swizzles(element_bits: int, row_bytes: int) -> list[Swizzle]:
+def candidate_swizzles(
+    element_bits: int, row_bytes: int, phase_bytes: int = 128
+) -> list[Swizzle]:
     """Enumerate the swizzles worth trying for a shared-memory buffer.
 
     ``element_bits`` is the storage width of one element and ``row_bytes``
     the byte length of one contiguous row of the base layout; the candidates
     mirror the canonical CUTLASS shared-memory atoms (none, 32 B, 64 B and
     128 B swizzles) expressed at element granularity.
+
+    ``phase_bytes`` is the banked window one warp-wide access phase covers
+    (``banks * bank_bytes`` — 128 B on NVIDIA's 32x4 B banking).  The widest
+    useful swizzle permutes one full phase of 16-byte vectors, so targets
+    with wider banking (e.g. CDNA's 256 B LDS window) enumerate one more
+    swizzle tier and admit proportionally wider spans.
     """
     candidates = [Swizzle(0, 0, 0)]
     element_bytes = max(1, element_bits // 8)
     # The base covers one 16-byte vector worth of elements (128-bit accesses).
     vector_elems = max(1, 16 // element_bytes)
     base = max(0, vector_elems.bit_length() - 1)
-    span_limit_bytes = max(row_bytes, 16) * 8 if row_bytes else None
-    for bits in (1, 2, 3):
-        for shift in (bits, 3):
+    # log2(vectors per phase): 3 for the canonical 128-byte phase.
+    max_bits = max(1, (max(phase_bytes, 32) // 16).bit_length() - 1)
+    if phase_bytes > 128:
+        # Wide-banked targets (e.g. CDNA's 256 B LDS window) conflict across
+        # strides far beyond one row: admit swizzles permuting up to
+        # 2**max_bits whole phases so those address bits can be folded in.
+        span_limit_bytes = phase_bytes * (1 << max_bits)
+    else:
+        span_limit_bytes = max(row_bytes, 16) * (1 << max_bits) if row_bytes else None
+    for bits in range(1, max_bits + 1):
+        for shift in (bits, max_bits):
             if shift < bits:
                 continue
             candidate = Swizzle(bits, base, shift)

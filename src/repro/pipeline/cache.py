@@ -145,11 +145,19 @@ def compile_key(
     arch: GpuArch,
     instructions: InstructionSet,
     options,
+    backend: Optional[str] = None,
 ) -> str:
-    """The cache key of one ``(program, arch, instruction set, options)``."""
+    """The cache key of one ``(program, arch, backend, instructions, options)``.
+
+    ``backend`` is the resolved codegen backend *name* (``None`` follows the
+    architecture's declared backend).  It is part of the key so a kernel
+    compiled for one target is never replayed for another — the synthesized
+    swizzles and the emitted source both depend on it.
+    """
     token = [
         _program_token(program),
         arch.name,
+        backend if backend is not None else arch.backend,
         _instruction_set_token(instructions),
         options.max_candidates,
         options.keep_alternatives,

@@ -59,6 +59,9 @@ class CompileRequest:
     arch: Optional[object] = None  # anything accepted by sim.arch.get_arch
     instructions: Optional[InstructionSet] = None
     options: Optional[CompileOptions] = None
+    # Codegen backend override (a repro.codegen.BACKENDS name or Backend
+    # instance); None follows the resolved architecture's declared backend.
+    backend: Optional[object] = None
 
 
 @dataclass
@@ -69,6 +72,10 @@ class CompilationContext:
     arch: GpuArch
     instructions: InstructionSet
     options: CompileOptions = field(default_factory=CompileOptions)
+    # The codegen target.  The driver stores the resolved
+    # repro.codegen.Backend here; passes fall back to the architecture's
+    # declared backend when a context is constructed directly with None.
+    backend: Optional[object] = None
 
     # --- artifacts, in pass order ------------------------------------- #
     tv_solution: Optional[object] = None  # synthesis.tv_solver.TVSolution

@@ -71,28 +71,42 @@ def compile_program(
     options: Optional[CompileOptions] = None,
     cache: Optional[CompileCache] = None,
     pass_manager: Optional[PassManager] = None,
+    backend=None,
     **option_kwargs,
 ):
     """Run the pass pipeline on one tile program, consulting the cache.
 
     ``arch`` accepts anything :func:`repro.sim.arch.get_arch` does —
-    ``"a100"``/``"h100"`` names, SM numbers (``80``/``90``), or a
-    :class:`GpuArch` — and defaults to :data:`repro.sim.arch.DEFAULT_ARCH`
-    (``"a100"``), the same default as ``compile_kernel`` and
-    ``compile_many``.  Keyword compile options (``max_candidates``,
-    ``keep_alternatives``, ``copy_width_cap``, ``use_cache``) may be given
-    directly or bundled in an explicit :class:`CompileOptions`.
+    ``"a100"``/``"h100"``/``"mi300"``/``"cpu-sim"`` names, SM numbers
+    (``80``/``90``), or a :class:`GpuArch` — and defaults to
+    :data:`repro.sim.arch.DEFAULT_ARCH` (``"a100"``), the same default as
+    ``compile_kernel`` and ``compile_many``.  ``backend`` overrides the
+    architecture's declared codegen backend (a ``repro.codegen.BACKENDS``
+    name or instance); the cache key includes the resolved backend, so the
+    same program compiled for different targets never shares entries.
+    Keyword compile options (``max_candidates``, ``keep_alternatives``,
+    ``copy_width_cap``, ``use_cache``) may be given directly or bundled in
+    an explicit :class:`CompileOptions`.
     """
+    from repro.codegen.backend import get_backend
+
     gpu = get_arch(arch)
+    target = get_backend(backend if backend is not None else gpu.backend)
     iset = instructions or instruction_set(gpu.sm_arch)
     opts = _build_options(options, option_kwargs)
     cache = cache if cache is not None else default_cache()
     manager = pass_manager or PassManager()
 
-    key = compile_key(program, gpu, iset, opts) if opts.cacheable else None
+    key = (
+        compile_key(program, gpu, iset, opts, backend=target.name)
+        if opts.cacheable
+        else None
+    )
     entry = cache.get(key) if opts.use_cache else None
 
-    ctx = CompilationContext(program=program, arch=gpu, instructions=iset, options=opts)
+    ctx = CompilationContext(
+        program=program, arch=gpu, instructions=iset, options=opts, backend=target
+    )
     ctx.cache_key = key
 
     if entry is not None:
@@ -137,6 +151,7 @@ def _normalize_request(
     arch,
     instructions: Optional[InstructionSet],
     options: CompileOptions,
+    backend=None,
 ) -> CompileRequest:
     if isinstance(item, CompileRequest):
         return CompileRequest(
@@ -144,8 +159,11 @@ def _normalize_request(
             arch=item.arch if item.arch is not None else arch,
             instructions=item.instructions if item.instructions is not None else instructions,
             options=item.options if item.options is not None else options,
+            backend=item.backend if item.backend is not None else backend,
         )
-    return CompileRequest(program=item, arch=arch, instructions=instructions, options=options)
+    return CompileRequest(
+        program=item, arch=arch, instructions=instructions, options=options, backend=backend
+    )
 
 
 def compile_many(
@@ -156,6 +174,7 @@ def compile_many(
     cache: Optional[CompileCache] = None,
     max_workers: Optional[int] = None,
     return_errors: bool = False,
+    backend=None,
     **option_kwargs,
 ) -> List[object]:
     """Batch-compile tile programs, in parallel, through the shared cache.
@@ -174,7 +193,9 @@ def compile_many(
     """
     opts = _build_options(options, option_kwargs)
     cache = cache if cache is not None else default_cache()
-    requests = [_normalize_request(item, arch, instructions, opts) for item in programs]
+    requests = [
+        _normalize_request(item, arch, instructions, opts, backend) for item in programs
+    ]
     if not requests:
         return []
 
@@ -191,6 +212,8 @@ def _compile_many_grouped(
     max_workers: Optional[int],
     return_errors: bool,
 ) -> List[object]:
+    from repro.codegen.backend import get_backend
+
     # Group by fingerprint so concurrent workers never race to compile the
     # same program; uncacheable requests each form their own group.
     groups: Dict[object, List[int]] = {}
@@ -199,7 +222,12 @@ def _compile_many_grouped(
         if request_opts.cacheable:
             gpu = get_arch(request.arch)
             iset = request.instructions or instruction_set(gpu.sm_arch)
-            key = compile_key(request.program, gpu, iset, request_opts)
+            target = get_backend(
+                request.backend if request.backend is not None else gpu.backend
+            )
+            key = compile_key(
+                request.program, gpu, iset, request_opts, backend=target.name
+            )
         else:
             key = object()  # unique: never deduped
         groups.setdefault(key, []).append(index)
@@ -214,6 +242,7 @@ def _compile_many_grouped(
             instructions=request.instructions,
             options=request.options,
             cache=cache,
+            backend=request.backend,
         )
 
     leaders = [indices[0] for indices in groups.values()]

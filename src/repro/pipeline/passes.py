@@ -56,6 +56,14 @@ class CompilerPass:
         return f"<pass {self.name}>"
 
 
+def _resolve_backend(ctx: CompilationContext):
+    """The context's codegen backend: the driver-resolved instance, or the
+    architecture's declared backend for directly constructed contexts."""
+    from repro.codegen.backend import get_backend
+
+    return get_backend(ctx.backend if ctx.backend is not None else ctx.arch.backend)
+
+
 class TVSynthesisPass(CompilerPass):
     """Thread-value layout synthesis (Algorithm 1, Section IV)."""
 
@@ -80,12 +88,14 @@ class InstructionSelectionPass(CompilerPass):
     def run(self, ctx: CompilationContext) -> None:
         if ctx.tv_solution is None:
             raise RuntimeError("instruction-selection requires tv-synthesis to have run")
+        backend = _resolve_backend(ctx)
         selector = InstructionSelector(
             ctx.program,
             ctx.tv_solution,
             ctx.instructions,
             max_candidates=ctx.options.max_candidates,
             copy_width_cap=ctx.options.copy_width_cap,
+            bank_params=backend.smem_bank_params(ctx.arch),
         )
         ctx.selector = selector
 
@@ -138,16 +148,14 @@ class SmemSwizzlePass(CompilerPass):
 
 
 class CodegenPass(CompilerPass):
-    """Lowering / CUDA-like source emission."""
+    """Lowering / source emission, dispatched on the codegen backend."""
 
     name = "codegen"
 
     def run(self, ctx: CompilationContext) -> None:
         if ctx.candidate is None:
             raise RuntimeError("codegen requires a selected candidate")
-        from repro.codegen.cuda_emitter import emit_cuda_source
-
-        ctx.source = emit_cuda_source(ctx.program, ctx.candidate, ctx.arch)
+        ctx.source = _resolve_backend(ctx).emit(ctx.program, ctx.candidate, ctx.arch)
 
 
 class TimingPass(CompilerPass):

@@ -20,6 +20,8 @@ __all__ = [
     "GpuArch",
     "A100",
     "H100",
+    "MI300",
+    "CPU_SIM",
     "DEFAULT_ARCH",
     "DEFAULT_EVAL_ARCH",
     "fleet_size",
@@ -61,6 +63,17 @@ class GpuArch:
     # HBM capacity (decimal GB, matching the marketing figure the paper
     # quotes); the serving layer's KV-cache budget derives from this.
     hbm_gb: float = 80.0
+    # Codegen target this architecture compiles through — a name in
+    # repro.codegen.BACKENDS.  The pipeline resolves it per compile, and
+    # the cache key includes it, so equivalent programs compiled for
+    # different targets never share entries.
+    backend: str = "cuda"
+    # Shared-memory banking: conflicts repeat every `smem_banks *
+    # smem_bank_bytes` bytes.  These flow through the backend into swizzle
+    # enumeration and the bank-conflict model, so architectures with wider
+    # banking (CDNA LDS) legitimately synthesize different layouts.
+    smem_banks: int = 32
+    smem_bank_bytes: int = 4
 
     @property
     def clock_hz(self) -> float:
@@ -135,9 +148,55 @@ H100 = GpuArch(
     fp32_tflops=51.0,
 )
 
+MI300 = GpuArch(
+    name="MI300X-192GB",
+    sm_arch=80,  # selects the non-TMA instruction tier; mnemonic emission is the backend's job
+    num_sms=304,
+    clock_ghz=2.10,
+    dram_bandwidth_gbps=5300.0,
+    l2_bandwidth_gbps=8000.0,
+    shared_mem_per_sm_kb=64,  # LDS per CU
+    registers_per_sm=65536,
+    max_threads_per_sm=2048,
+    fp16_tensor_tflops=1307.0,
+    fp8_tensor_tflops=2614.0,
+    fp32_tflops=163.4,
+    hbm_gb=192.0,
+    backend="rocm",
+    # CDNA's LDS resolves conflicts over a 256-byte window (64 x 4 B banks
+    # for a 64-lane wavefront), twice the CUDA phase — wider swizzles pay
+    # off, so synthesis legitimately diverges from the cuda path.
+    smem_banks=64,
+    smem_bank_bytes=4,
+)
+
+CPU_SIM = GpuArch(
+    name="CPU-AVX512-64c",
+    sm_arch=80,  # instruction menus still drive vector widths for the emitter
+    num_sms=64,  # cores
+    clock_ghz=3.0,
+    dram_bandwidth_gbps=300.0,
+    l2_bandwidth_gbps=1000.0,
+    shared_mem_per_sm_kb=1024,  # per-core L2 slice standing in for smem scratch
+    registers_per_sm=65536,
+    max_threads_per_sm=2048,
+    fp16_tensor_tflops=12.0,  # AVX512 fp16 FMA throughput, all cores
+    fp8_tensor_tflops=12.0,
+    fp32_tflops=6.0,
+    kernel_launch_us=1.0,  # a function call, not a driver launch
+    hbm_gb=256.0,  # DDR5
+    backend="cpu-sim",
+    # No banked scratchpad: every layout is conflict-free, so the solver
+    # keeps the identity swizzle and the emitter skips the smem stage.
+    smem_banks=1,
+    smem_bank_bytes=128,
+)
+
 _ARCHS: Dict[str, GpuArch] = {
     "a100": A100,
     "h100": H100,
+    "mi300": MI300,
+    "cpu-sim": CPU_SIM,
     "80": A100,
     "90": H100,
 }
@@ -176,4 +235,6 @@ def get_arch(spec) -> GpuArch:
         key = key[3:]
     if key in _ARCHS:
         return _ARCHS[key]
-    raise KeyError(f"unknown GPU architecture {spec!r} (expected a100/h100/80/90)")
+    raise KeyError(
+        f"unknown GPU architecture {spec!r} (expected one of {sorted(_ARCHS)})"
+    )

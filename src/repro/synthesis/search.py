@@ -146,6 +146,7 @@ class InstructionSelector:
         max_candidates: int = 256,
         max_choices_per_copy: int = 3,
         copy_width_cap=None,
+        bank_params=None,
     ):
         self.program = program
         self.tv_solution = tv_solution
@@ -156,6 +157,11 @@ class InstructionSelector:
         # baselines/ablations to emulate compilers whose layout systems fall
         # back to narrow accesses on specific tensors.
         self.copy_width_cap = copy_width_cap
+        # Target banking geometry for shared-memory synthesis (None keeps
+        # the default NVIDIA 32x4 B banks); supplied per compile by the
+        # codegen backend so rocm targets score conflicts over their own
+        # LDS window.
+        self.bank_params = bank_params
         self.stats = SelectionStats()
         self.last_failed_tensor: Optional[TileTensor] = None
 
@@ -365,7 +371,7 @@ class InstructionSelector:
             self.stats.subproblems_memoized += 1
             return self._smem_cache[key]
         accesses = [self._access_for(c, assignment[c.op_id], tensor) for c in touching]
-        solution, hit = smem_solution_for(tensor, accesses)
+        solution, hit = smem_solution_for(tensor, accesses, self.bank_params)
         if hit:
             # The process-wide structural cache already knew this subproblem
             # (e.g. from an equivalent compile earlier in an autotune sweep).

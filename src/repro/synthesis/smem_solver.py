@@ -38,6 +38,8 @@ __all__ = [
     "SMEM_BANKS",
     "SMEM_BANK_BYTES",
     "CopyAccess",
+    "DEFAULT_BANK_PARAMS",
+    "SmemBankParams",
     "SmemPlan",
     "SmemSolution",
     "SmemSynthesisError",
@@ -52,6 +54,30 @@ __all__ = [
 
 SMEM_BANKS = 32
 SMEM_BANK_BYTES = 4
+
+
+@dataclass(frozen=True)
+class SmemBankParams:
+    """The banking geometry the conflict model and swizzle enumeration use.
+
+    The defaults reproduce NVIDIA's 32 banks of 4 bytes (the constants the
+    solver always assumed); a codegen backend supplies the target's own
+    geometry (``repro.codegen.Backend.smem_bank_params``), so e.g. CDNA's
+    wider LDS window enumerates wider swizzles and scores conflicts over
+    64 banks.  ``banks <= 1`` means an unbanked scratchpad: every access is
+    conflict-free, so the solver keeps the identity swizzle.
+    """
+
+    banks: int = SMEM_BANKS
+    bank_bytes: int = SMEM_BANK_BYTES
+
+    @property
+    def phase_bytes(self) -> int:
+        """Bytes one conflict phase covers (the banked window)."""
+        return self.banks * self.bank_bytes
+
+
+DEFAULT_BANK_PARAMS = SmemBankParams()
 
 
 class SmemSynthesisError(Exception):
@@ -191,25 +217,30 @@ def bank_conflict_factor(
     coords: Sequence[Tuple[int, ...]],
     element_bytes: float,
     access_bytes: int,
+    bank_params: Optional[SmemBankParams] = None,
 ) -> float:
     """Average bank-conflict multiplier of a warp-wide access.
 
     The 32 accesses are split into phases such that each phase moves at most
-    128 bytes (the shared-memory transaction size); within a phase the
-    multiplier is the maximum number of distinct 4-byte banks conflicts, and
-    the result is the mean over phases.  1.0 means conflict-free.
+    ``bank_params.phase_bytes`` (128 bytes — the shared-memory transaction
+    size — under the default NVIDIA banking); within a phase the multiplier
+    is the maximum number of distinct bank conflicts, and the result is the
+    mean over phases.  1.0 means conflict-free.
     """
     if not coords:
         return 1.0
-    threads_per_phase = max(1, int(SMEM_BANKS * SMEM_BANK_BYTES // max(access_bytes, 1)))
+    params = bank_params or DEFAULT_BANK_PARAMS
+    if params.banks <= 1:
+        return 1.0  # unbanked scratchpad: nothing to conflict on
+    threads_per_phase = max(1, int(params.phase_bytes // max(access_bytes, 1)))
     factors = []
     for start in range(0, len(coords), threads_per_phase):
         phase = coords[start:start + threads_per_phase]
         banks: Dict[int, set] = {}
         for coord in phase:
             address = int(layout(tuple(coord)) * element_bytes)
-            bank = (address // SMEM_BANK_BYTES) % SMEM_BANKS
-            banks.setdefault(bank, set()).add(address // (SMEM_BANKS * SMEM_BANK_BYTES))
+            bank = (address // params.bank_bytes) % params.banks
+            banks.setdefault(bank, set()).add(address // params.phase_bytes)
         worst = max(len(lines) for lines in banks.values())
         factors.append(worst)
     return sum(factors) / len(factors)
@@ -269,11 +300,22 @@ def _access_signature(access: CopyAccess) -> tuple:
     )
 
 
-def subproblem_key(tensor: TileTensor, accesses: Sequence[CopyAccess]) -> tuple:
-    """The canonical structural key of one smem synthesis subproblem."""
+def subproblem_key(
+    tensor: TileTensor,
+    accesses: Sequence[CopyAccess],
+    bank_params: Optional[SmemBankParams] = None,
+) -> tuple:
+    """The canonical structural key of one smem synthesis subproblem.
+
+    The banking geometry is part of the key: the same buffer/access
+    structure solved for different targets (cuda vs rocm) yields different
+    swizzles, so the process-wide cache must never cross-serve them.
+    """
+    params = bank_params or DEFAULT_BANK_PARAMS
     return (
         tuple(tensor.shape),
         tensor.dtype.bits,
+        (params.banks, params.bank_bytes),
         tuple(_access_signature(access) for access in accesses),
     )
 
@@ -305,6 +347,7 @@ def clear_smem_cache() -> None:
 def smem_solution_for(
     tensor: TileTensor,
     accesses: Sequence[CopyAccess],
+    bank_params: Optional[SmemBankParams] = None,
 ) -> Tuple[SmemSolution, bool]:
     """The (possibly memoized) solution of one subproblem plus whether the
     structural cache already held it.
@@ -315,14 +358,15 @@ def smem_solution_for(
     threads use the cache concurrently.
     """
     global _CACHE_HITS, _CACHE_MISSES
-    key = subproblem_key(tensor, accesses)
+    params = bank_params or DEFAULT_BANK_PARAMS
+    key = subproblem_key(tensor, accesses, params)
     cached = _SOLUTION_CACHE.get(key)
     if cached is not None:
         _CACHE_HITS += 1
         return cached, True
     _CACHE_MISSES += 1
     try:
-        solution = _solve_subproblem(tensor, accesses)
+        solution = _solve_subproblem(tensor, accesses, params)
     except SmemSynthesisError as exc:
         # Cache the failure under its tensor-independent reason.
         reason = str(exc)
@@ -337,14 +381,16 @@ def smem_solution_for(
 def synthesize_smem_layout(
     tensor: TileTensor,
     accesses: Sequence[CopyAccess],
+    bank_params: Optional[SmemBankParams] = None,
 ) -> SmemPlan:
     """Unify the constraints of all accesses and pick the best swizzle.
 
     Consults the structural subproblem cache first: equivalent subproblems
-    (same buffer shape/dtype, same access signatures) reuse the solved
-    layout/swizzle and re-raise memoized failures without re-unifying.
+    (same buffer shape/dtype, same banking, same access signatures) reuse
+    the solved layout/swizzle and re-raise memoized failures without
+    re-unifying.
     """
-    solution, _hit = smem_solution_for(tensor, accesses)
+    solution, _hit = smem_solution_for(tensor, accesses, bank_params)
     return solution.as_plan(tensor, accesses)
 
 
@@ -360,7 +406,9 @@ def _remember(key: tuple, solution: SmemSolution) -> None:
 
 
 def _solve_subproblem(
-    tensor: TileTensor, accesses: Sequence[CopyAccess]
+    tensor: TileTensor,
+    accesses: Sequence[CopyAccess],
+    bank_params: SmemBankParams = DEFAULT_BANK_PARAMS,
 ) -> SmemSolution:
     if not accesses:
         # An unused buffer: any compact layout works.
@@ -394,9 +442,11 @@ def _solve_subproblem(
         * element_bytes
     )
     best_swizzle = Swizzle(0, 0, 0)
-    best_factor = _total_conflicts(base, best_swizzle, accesses, element_bytes)
-    for swizzle in candidate_swizzles(tensor.dtype.bits, row_bytes):
-        factor = _total_conflicts(base, swizzle, accesses, element_bytes)
+    best_factor = _total_conflicts(base, best_swizzle, accesses, element_bytes, bank_params)
+    for swizzle in candidate_swizzles(
+        tensor.dtype.bits, row_bytes, bank_params.phase_bytes
+    ):
+        factor = _total_conflicts(base, swizzle, accesses, element_bytes, bank_params)
         if factor < best_factor - 1e-9:
             best_factor = factor
             best_swizzle = swizzle
@@ -408,13 +458,18 @@ def _total_conflicts(
     swizzle: Swizzle,
     accesses: Sequence[CopyAccess],
     element_bytes: float,
+    bank_params: SmemBankParams = DEFAULT_BANK_PARAMS,
 ) -> float:
     layout = ComposedLayout(swizzle, base)
     total = 0.0
     weight = 0.0
     for access in accesses:
         factor = bank_conflict_factor(
-            layout, access.thread_coords, element_bytes, access.instruction.vector_bytes
+            layout,
+            access.thread_coords,
+            element_bytes,
+            access.instruction.vector_bytes,
+            bank_params,
         )
         trips = access.copy.trips
         total += factor * trips

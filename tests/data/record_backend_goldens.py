@@ -1,0 +1,62 @@
+"""Record golden cuda-path digests for the five kernel families.
+
+Run from the repo root (``PYTHONPATH=src python tests/data/record_backend_goldens.py``)
+against the PRE-refactor tree; ``tests/test_backends.py`` then pins the
+post-refactor cuda backend to these digests, the same golden-gate shape the
+serving digests use (``golden_sim_digests.json``).
+
+Each entry records the sha256 of the emitted source, the winning named
+assignment, and the simulated latency for one representative compile per
+kernel family on the default compile arch (a100).  The GEMM entry is the
+fig22 configuration used by ``bench_compile_time.py`` so the cuda-vs-rocm
+divergence criterion and the cuda bit-identity criterion share a config.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.compiler import compile_kernel
+from repro.kernels.attention import AttentionConfig, build_mha_decoding
+from repro.kernels.fp8_gemm import Fp8GemmConfig, build_fp8_blockwise_gemm
+from repro.kernels.gemm import GemmConfig, build_fp16_gemm
+from repro.kernels.mamba import ScanConfig, build_selective_scan
+from repro.kernels.moe import MoeConfig, build_moe_gemm
+
+OUT = Path(__file__).with_name("golden_backend_digests.json")
+
+# One representative (builder, max_candidates) per kernel family.  The
+# configs are small enough for the tier-1 suite but exercise every op kind
+# the emitter handles.  gemm is the fig22 config (bench_compile_time.py).
+FAMILY_BUILDS = {
+    "gemm": (lambda: build_fp16_gemm(4096, 4096, 4096, GemmConfig(bm=128, bn=128, bk=32)), "a100", 102),
+    "fp8_gemm": (lambda: build_fp8_blockwise_gemm(1024, 1024, 512, Fp8GemmConfig(bm=64, bn=64, bk=128)), "h100", 24),
+    "attention": (lambda: build_mha_decoding(2048, 128, 8, 4, AttentionConfig(head_dim=128, block_kv=128)), "a100", 24),
+    "mamba": (lambda: build_selective_scan(2048, 1024, 2, ScanConfig()), "a100", 24),
+    "moe": (lambda: build_moe_gemm(64, 4096, 4096, MoeConfig()), "a100", 24),
+}
+
+
+def record() -> dict:
+    entries = {}
+    for family, (build, arch, max_candidates) in sorted(FAMILY_BUILDS.items()):
+        kernel = compile_kernel(build(), arch=arch, max_candidates=max_candidates,
+                                use_cache=False)
+        entries[family] = {
+            "arch": arch,
+            "max_candidates": max_candidates,
+            "source_sha256": hashlib.sha256(kernel.source.encode("utf-8")).hexdigest(),
+            "assignment": [list(item) for item in kernel.candidate.named_assignment(kernel.program)],
+            "latency_us": float(kernel.timing.latency_us).hex(),
+        }
+    return entries
+
+
+if __name__ == "__main__":
+    entries = record()
+    OUT.write_text(json.dumps(entries, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    for family, entry in entries.items():
+        print(f"{family}: {entry['source_sha256'][:16]}  latency={entry['latency_us']}")
+    print(f"wrote {OUT}")

@@ -18,7 +18,7 @@ def test_fleet_size_covers_demand():
     with pytest.raises(ValueError):
         fleet_size(10.0, "h100", hbm_utilization=0.0)
     with pytest.raises(KeyError):
-        fleet_size(10.0, "mi300")
+        fleet_size(10.0, "tpu-v5")
 
 
 def test_get_arch_resolves_all_spellings():
@@ -28,7 +28,7 @@ def test_get_arch_resolves_all_spellings():
     assert get_arch("sm_90") is H100
     assert get_arch(A100) is A100
     with pytest.raises(KeyError):
-        get_arch("mi300")
+        get_arch("tpu-v5")
 
 
 def test_canonical_defaults():

@@ -97,7 +97,7 @@ def test_arch_lookup():
     assert get_arch(90) is H100
     assert get_arch(H100) is H100
     with pytest.raises(KeyError):
-        get_arch("mi300")
+        get_arch("tpu-v5")
 
 
 def test_kernel_decorator_compiles():

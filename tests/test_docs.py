@@ -14,8 +14,9 @@ on every push):
 2. **Policy names match the registries.**  The workload, scheduler and
    router tables in ``docs/serving.md`` must list exactly the names
    registered in ``repro.serving.WORKLOADS``, ``SCHEDULERS`` and
-   ``ROUTERS`` — adding a policy without documenting it (or documenting
-   one that does not exist) fails.
+   ``ROUTERS``, and the backend table in ``docs/architecture.md`` must
+   list exactly ``repro.codegen.BACKENDS`` — adding a policy or backend
+   without documenting it (or documenting one that does not exist) fails.
 """
 
 import re
@@ -71,7 +72,7 @@ def test_every_documented_file_reference_resolves(doc):
 def _table_names(text: str, heading: str):
     """The backticked first-column keys of the table under ``heading``."""
     section = text.split(heading, 1)
-    assert len(section) == 2, f"docs/serving.md lost its {heading!r} section"
+    assert len(section) == 2, f"doc lost its {heading!r} section"
     body = section[1].split("\n## ", 1)[0]
     return set(re.findall(r"^\| `([a-z0-9\-]+)` \|", body, flags=re.MULTILINE))
 
@@ -100,6 +101,17 @@ def test_documented_router_names_match_registry():
     assert documented == set(ROUTERS), (
         f"docs/serving.md router table {sorted(documented)} != "
         f"registered ROUTERS {sorted(ROUTERS)}"
+    )
+
+
+def test_documented_backend_names_match_registry():
+    from repro.codegen import BACKENDS
+
+    text = (REPO_ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
+    documented = _table_names(text, "## Backend registry & lazy compilation")
+    assert documented == set(BACKENDS), (
+        f"docs/architecture.md backend table {sorted(documented)} != "
+        f"registered BACKENDS {sorted(BACKENDS)}"
     )
 
 
