@@ -14,9 +14,15 @@ plus two smoke checks:
 * the per-backend compile-time report (``--smoke``): the same GEMM compiled
   cold then warm through every registered codegen backend (on an arch that
   declares it) via one shared cache — every backend's warm recompile must
-  be a cache replay at least 2x faster than its cold compile, the emitted
-  sources must differ across backends, and the arch registry must cover
-  every backend in ``repro.codegen.BACKENDS``.
+  be a cache replay (a hit that evaluates at most two candidates, no
+  slower than cold), the emitted sources must differ across backends, and
+  the arch registry must cover every backend in ``repro.codegen.BACKENDS``;
+* the swizzle prune gate (``--smoke``): the fig22 GEMM plus the other four
+  kernel families, searched with analytic swizzle pruning off and on under
+  both backends' banking geometries (32x4 B and 64x4 B) — pruning must
+  score strictly fewer swizzle candidates through the conflict model while
+  returning a bit-identical winner (same instruction assignment, cost, and
+  per-buffer ``SmemSolution``).
 
 Run as a script for the standalone modes::
 
@@ -29,11 +35,19 @@ import time
 
 from repro.compiler import compile_kernel
 from repro.instructions.registry import instruction_set
+from repro.kernels.attention import AttentionConfig, build_mha_forward
+from repro.kernels.fp8_gemm import Fp8GemmConfig, build_fp8_blockwise_gemm
 from repro.kernels.gemm import GemmConfig, build_fp16_gemm
+from repro.kernels.mamba import ScanConfig, build_selective_scan
+from repro.kernels.moe import MoeConfig, build_moe_gemm
 from repro.pipeline import CompileCache
 from repro.sim.arch import get_arch
 from repro.synthesis.search import InstructionSelector
-from repro.synthesis.smem_solver import clear_smem_cache
+from repro.synthesis.smem_solver import (
+    SmemBankParams,
+    clear_smem_cache,
+    set_swizzle_pruning,
+)
 from repro.synthesis.tv_solver import ThreadValueSolver
 from repro.utils.memo import clear_caches
 
@@ -221,11 +235,15 @@ def run_backend_compile_times() -> int:
     The same GEMM program is compiled once per registered backend, on an
     architecture that declares that backend (a100 -> cuda, mi300 -> rocm,
     cpu-sim -> cpu-sim), then recompiled from an equivalent rebuilt
-    program.  The warm path must replay out of the cache at least 2x
-    faster, the per-backend cache entries must not collide (distinct
-    emitted sources prove distinct entries), and the arch registry must
-    cover every backend — a new backend without a compiling arch fails
-    here before it fails anywhere subtler.
+    program.  The warm path must replay out of the cache — a cache hit
+    that evaluates at most two candidates instead of searching ~100, and
+    is no slower than the cold compile (since relation-backed injectivity
+    caching and swizzle pruning made the search itself cheap, wall-clock
+    ratio is no longer a meaningful proxy for "skipped the search").  The
+    per-backend cache entries must not collide (distinct emitted sources
+    prove distinct entries), and the arch registry must cover every
+    backend — a new backend without a compiling arch fails here before it
+    fails anywhere subtler.
     """
     from repro.codegen import BACKENDS
 
@@ -260,10 +278,15 @@ def run_backend_compile_times() -> int:
             failures.append(f"{backend} warm recompile missed the cache")
         if warm.source != cold.source:
             failures.append(f"{backend} warm recompile is not bit-identical")
-        if warm_s * 2 > cold_s:
+        if warm.candidates_explored > 2:
             failures.append(
-                f"{backend} warm recompile not >=2x faster "
-                f"({cold_s * 1000:.1f} ms vs {warm_s * 1000:.1f} ms)"
+                f"{backend} warm recompile searched "
+                f"{warm.candidates_explored} candidates instead of replaying"
+            )
+        if warm_s > cold_s * 1.25:
+            failures.append(
+                f"{backend} warm recompile slower than cold "
+                f"({warm_s * 1000:.1f} ms vs {cold_s * 1000:.1f} ms)"
             )
     if len(set(sources.values())) != len(sources):
         failures.append(
@@ -274,6 +297,117 @@ def run_backend_compile_times() -> int:
         print(f"  FAIL: {failure}")
     if not failures:
         print("  OK: every backend replays warm out of its own cache entries")
+    return 1 if failures else 0
+
+
+# The prune-gate sweep: the fig22 GEMM plus one representative program per
+# remaining kernel family, each searched on its native arch.  The attention
+# family uses the forward kernel (the decode kernel stages nothing through
+# shared memory, so it exercises no swizzle selection at all).
+PRUNE_GATE_FAMILIES = (
+    ("gemm", FIG22_ARCH, lambda: build_fp16_gemm(*FIG22_PROBLEM, FIG22_CONFIG)),
+    ("fp8_gemm", "h100",
+     lambda: build_fp8_blockwise_gemm(1024, 1024, 512,
+                                      Fp8GemmConfig(bm=64, bn=64, bk=128))),
+    ("attention", "a100",
+     lambda: build_mha_forward(8, 16, 2048, 128, AttentionConfig(head_dim=128))),
+    ("mamba", "a100", lambda: build_selective_scan(2048, 1024, 2, ScanConfig())),
+    ("moe", "a100", lambda: build_moe_gemm(64, 4096, 4096, MoeConfig())),
+)
+
+# Both backends' banking geometries (cuda 32x4 B, rocm/CDNA 64x4 B).
+PRUNE_GATE_BANKINGS = (
+    ("cuda 32x4B", SmemBankParams(32, 4)),
+    ("rocm 64x4B", SmemBankParams(64, 4)),
+)
+
+
+def _prune_gate_search(build, arch: str, bank_params: SmemBankParams, prune: bool):
+    """One cold search of a family program with pruning forced on or off."""
+    gpu = get_arch(arch)
+    iset = instruction_set(gpu.sm_arch)
+    program = build()
+    tv = ThreadValueSolver(program, iset).solve()
+    selector = InstructionSelector(
+        program, tv, iset, max_candidates=MAX_CANDIDATES, bank_params=bank_params
+    )
+    previous = set_swizzle_pruning(prune)
+    try:
+        # Fresh structural cache so both toggles actually solve (a cached
+        # solution would carry the *other* run's swizzle counters).
+        clear_smem_cache()
+        best = selector.best()
+    finally:
+        set_swizzle_pruning(previous)
+    return selector, best, program
+
+
+def _smem_winners(best, program):
+    """The per-buffer smem results of a winning candidate, keyed by name."""
+    return {
+        tensor.name: (repr(plan.base_layout), plan.swizzle, plan.conflict_factor)
+        for tensor, plan in best.smem_plans.items()
+    }
+
+
+def run_prune_gate() -> int:
+    """CI gate: analytic swizzle pruning scores strictly fewer candidates
+    and returns a bit-identical winner on every kernel family under both
+    backends' banking geometries.  Returns a process exit code.
+
+    Pruning uses the integer-set relation view of the warp accesses
+    (``repro.layout.relation``): the conflict floor (1.0) ends the scan as
+    soon as the incumbent is conflict-free, and candidates whose
+    restriction to the touched address window ties an already-scored one
+    are skipped (``swizzle_window_key``).  Both prunes can only skip
+    candidates that tie or lose, so the winner must not move.
+    """
+    failures = []
+    print("swizzle prune gate (fig22 sweep, both banking geometries):")
+    for family, arch, build in PRUNE_GATE_FAMILIES:
+        for bank_label, bank_params in PRUNE_GATE_BANKINGS:
+            sel_off, best_off, prog_off = _prune_gate_search(
+                build, arch, bank_params, prune=False
+            )
+            sel_on, best_on, prog_on = _prune_gate_search(
+                build, arch, bank_params, prune=True
+            )
+            cell = f"{family} ({arch}, {bank_label})"
+            scored_off = sel_off.stats.swizzles_scored
+            scored_on = sel_on.stats.swizzles_scored
+            pruned_on = sel_on.stats.swizzles_pruned
+            print(f"  {cell:32s}: scored {scored_off:3d} -> {scored_on:3d} "
+                  f"({pruned_on} pruned, {sel_on.stats.smem_solves} solves)")
+            if not scored_on < scored_off:
+                failures.append(
+                    f"{cell}: pruning scored {scored_on} candidates, "
+                    f"not strictly fewer than {scored_off}"
+                )
+            if pruned_on <= 0:
+                failures.append(f"{cell}: prune counters never engaged")
+            if sel_off.stats.swizzles_pruned != 0:
+                failures.append(
+                    f"{cell}: unpruned reference reports "
+                    f"{sel_off.stats.swizzles_pruned} pruned candidates"
+                )
+            if best_on.named_assignment(prog_on) != best_off.named_assignment(
+                prog_off
+            ):
+                failures.append(f"{cell}: winning assignment moved under pruning")
+            if best_on.total_cycles != best_off.total_cycles:
+                failures.append(
+                    f"{cell}: winning cost moved under pruning "
+                    f"({best_on.total_cycles} vs {best_off.total_cycles})"
+                )
+            if _smem_winners(best_on, prog_on) != _smem_winners(best_off, prog_off):
+                failures.append(
+                    f"{cell}: smem layout/swizzle/conflict-factor moved "
+                    f"under pruning"
+                )
+    for failure in failures:
+        print(f"  FAIL: {failure}")
+    if not failures:
+        print("  OK: strictly fewer swizzles scored, bit-identical winners")
     return 1 if failures else 0
 
 
@@ -288,7 +422,9 @@ def main(argv=None) -> int:
     if args.smoke:
         code = run_smoke()
         print()
-        return max(code, run_backend_compile_times())
+        code = max(code, run_backend_compile_times())
+        print()
+        return max(code, run_prune_gate())
     parser.error("choose a mode (--smoke); the timing harness runs under pytest")
 
 

@@ -3,8 +3,10 @@
 This package implements CuTe-style layouts (hierarchical shape:stride
 functions), their algebra (coalesce, composition, complement, inverses,
 divides and products), thread-value layouts for register tensors, swizzles
-for bank-conflict-free shared memory, and parameterized layout constraints
-with unification.
+for bank-conflict-free shared memory, parameterized layout constraints
+with unification, and the integer-set-relation view
+(:mod:`repro.layout.relation`) that serves as an independent oracle for
+the closed-form algebra and answers feasibility queries analytically.
 """
 
 from repro.layout.layout import (
@@ -30,8 +32,14 @@ from repro.layout.algebra import (
     blocked_product,
     raked_product,
 )
+from repro.layout.relation import LayoutRelation, layout_is_injective
 from repro.layout.tv import TVLayout, make_tv_layout, rebase_strides
-from repro.layout.swizzle import Swizzle, ComposedLayout, candidate_swizzles
+from repro.layout.swizzle import (
+    Swizzle,
+    ComposedLayout,
+    candidate_swizzles,
+    swizzle_window_key,
+)
 from repro.layout.constraint import (
     StrideVar,
     ConstraintMode,
@@ -60,12 +68,15 @@ __all__ = [
     "logical_product",
     "blocked_product",
     "raked_product",
+    "LayoutRelation",
+    "layout_is_injective",
     "TVLayout",
     "make_tv_layout",
     "rebase_strides",
     "Swizzle",
     "ComposedLayout",
     "candidate_swizzles",
+    "swizzle_window_key",
     "StrideVar",
     "ConstraintMode",
     "LayoutConstraint",

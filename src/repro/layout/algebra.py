@@ -151,12 +151,20 @@ def composition(layout_a: LayoutOrInt, layout_b) -> Layout:
     result_stride: list[int] = []
     rest_shape = b_shape
     rest_stride = b_stride
-    for shape, stride in zip(flat_shape[:-1], flat_stride[:-1]):
-        s1 = shape_div(shape, rest_stride)
-        result_shape.append(min(s1, rest_shape))
-        result_stride.append(rest_stride * stride)
-        rest_shape = shape_div(rest_shape, s1)
-        rest_stride = shape_div(rest_stride, shape)
+    try:
+        for shape, stride in zip(flat_shape[:-1], flat_stride[:-1]):
+            s1 = shape_div(shape, rest_stride)
+            result_shape.append(min(s1, rest_shape))
+            result_stride.append(rest_stride * stride)
+            rest_shape = shape_div(rest_shape, s1)
+            rest_stride = shape_div(rest_stride, shape)
+    except ValueError as exc:
+        # shape_div raises without naming the operands; re-raise with both
+        # layouts so a failed composite is diagnosable at the call site.
+        raise ValueError(
+            f"composition: layout {layout_a} is not divisible by layout "
+            f"{layout_b} ({exc})"
+        ) from exc
     result_shape.append(rest_shape)
     result_stride.append(rest_stride * flat_stride[-1])
 
@@ -192,8 +200,9 @@ def complement(layout: LayoutOrInt, cosize_hi: int | None = None) -> Layout:
     for stride, shape in pairs:
         if stride % current != 0:
             raise ValueError(
-                f"complement: layout {layout} is not complementable "
-                f"(stride {stride} not divisible by {current})"
+                f"complement: layout {layout} is not complementable in "
+                f"[0, {cosize_hi}) (stride {stride} not divisible by "
+                f"{current})"
             )
         result_shape.append(stride // current)
         result_stride.append(current)

@@ -158,9 +158,16 @@ class Layout:
         return [self(i) for i in range(self.size())]
 
     def is_injective(self) -> bool:
-        """Whether distinct coordinates map to distinct indices."""
-        image = self.all_indices()
-        return len(set(image)) == len(image)
+        """Whether distinct coordinates map to distinct indices.
+
+        Delegates to the memoized relation predicate
+        (:func:`repro.layout.relation.layout_is_injective`): an analytic
+        sorted-stride check with an exact early-exit fallback, cached
+        beside the other layout-algebra hot paths.
+        """
+        from repro.layout.relation import layout_is_injective
+
+        return layout_is_injective(self)
 
     def is_compact(self) -> bool:
         """Whether the layout is a bijection onto ``[0, size)``."""

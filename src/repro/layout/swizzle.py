@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 from repro.layout.layout import Layout
 
-__all__ = ["Swizzle", "ComposedLayout", "candidate_swizzles"]
+__all__ = ["Swizzle", "ComposedLayout", "candidate_swizzles", "swizzle_window_key"]
 
 
 @dataclass(frozen=True)
@@ -96,15 +96,40 @@ class ComposedLayout:
         return [self(i) for i in range(self.size())]
 
     def is_injective(self) -> bool:
-        image = self.all_indices()
-        return len(set(image)) == len(image)
+        # A swizzle is an XOR bijection on addresses, so the composition
+        # is injective iff the base layout is — answered by the memoized
+        # relation predicate instead of an O(size) image scan.
+        from repro.layout.relation import layout_is_injective
+
+        return layout_is_injective(self.base)
 
     def __repr__(self) -> str:
         return f"{self.swizzle} o {self.base}"
 
 
+def swizzle_window_key(swizzle: Swizzle, window_bits: int) -> tuple:
+    """Canonical key of a swizzle's restriction to ``[0, 2**window_bits)``.
+
+    ``Swizzle(bits, base, shift)`` XORs ``(x >> (base + shift)) & mask``
+    into the bits just above ``base``; for ``x < 2**window_bits`` the
+    source field carries at most ``window_bits - (base + shift)`` live
+    bits, so only ``min(bits, window_bits - base - shift)`` of them can
+    ever fire.  Two swizzles with equal keys therefore agree *pointwise*
+    on the whole window; the empty key ``()`` means the restriction is the
+    identity.  The smem solver uses this to skip candidates that cannot be
+    distinguished by any address its warp accesses actually touch.
+    """
+    effective = min(swizzle.bits, max(0, window_bits - (swizzle.base + swizzle.shift)))
+    if effective <= 0:
+        return ()
+    return (swizzle.base, swizzle.shift, effective)
+
+
 def candidate_swizzles(
-    element_bits: int, row_bytes: int, phase_bytes: int = 128
+    element_bits: int,
+    row_bytes: int,
+    phase_bytes: int = 128,
+    window_bits: int | None = None,
 ) -> list[Swizzle]:
     """Enumerate the swizzles worth trying for a shared-memory buffer.
 
@@ -118,6 +143,13 @@ def candidate_swizzles(
     useful swizzle permutes one full phase of 16-byte vectors, so targets
     with wider banking (e.g. CDNA's 256 B LDS window) enumerate one more
     swizzle tier and admit proportionally wider spans.
+
+    ``window_bits``, when given, prunes the menu analytically *before*
+    enumeration: candidates whose restriction to the touched address
+    window ``[0, 2**window_bits)`` coincides with the identity or with an
+    earlier candidate (see :func:`swizzle_window_key`) are dropped — they
+    could only ever tie, never beat, the survivor.  The identity swizzle
+    always stays first.
     """
     candidates = [Swizzle(0, 0, 0)]
     element_bytes = max(1, element_bits // 8)
@@ -155,4 +187,16 @@ def candidate_swizzles(
         if sw not in seen:
             seen.add(sw)
             unique.append(sw)
-    return unique
+    if window_bits is None:
+        return unique
+    # Window pruning: keep the identity plus one candidate per distinct
+    # restriction to [0, 2**window_bits).
+    keys = {swizzle_window_key(unique[0], window_bits)}
+    pruned = [unique[0]]
+    for sw in unique[1:]:
+        key = swizzle_window_key(sw, window_bits)
+        if key in keys:
+            continue
+        keys.add(key)
+        pruned.append(sw)
+    return pruned

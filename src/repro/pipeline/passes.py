@@ -134,6 +134,12 @@ class InstructionSelectionPass(CompilerPass):
             selector.stats.subproblems_memoized
         )
         ctx.pass_stats[f"{self.name}.smem_solves"] = float(selector.stats.smem_solves)
+        ctx.pass_stats[f"{self.name}.swizzles_scored"] = float(
+            selector.stats.swizzles_scored
+        )
+        ctx.pass_stats[f"{self.name}.swizzles_pruned"] = float(
+            selector.stats.swizzles_pruned
+        )
 
 
 class SmemSwizzlePass(CompilerPass):

@@ -25,10 +25,17 @@ from repro.synthesis.tv_solver import (
 )
 from repro.synthesis.smem_solver import (
     CopyAccess,
+    SmemBankParams,
     SmemPlan,
+    SmemSolution,
     SmemSynthesisError,
     bank_conflict_factor,
+    clear_smem_cache,
     copy_access_for,
+    set_swizzle_pruning,
+    smem_solution_for,
+    solve_subproblem,
+    swizzle_pruning_enabled,
     synthesize_smem_layout,
 )
 from repro.synthesis.cost_model import (
@@ -62,10 +69,17 @@ __all__ = [
     "ThreadValueSolver",
     "synthesize_tv_layouts",
     "CopyAccess",
+    "SmemBankParams",
     "SmemPlan",
+    "SmemSolution",
     "SmemSynthesisError",
     "bank_conflict_factor",
+    "clear_smem_cache",
     "copy_access_for",
+    "set_swizzle_pruning",
+    "smem_solution_for",
+    "solve_subproblem",
+    "swizzle_pruning_enabled",
     "synthesize_smem_layout",
     "AnalyticalCostModel",
     "CostBreakdown",

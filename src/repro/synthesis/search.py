@@ -79,6 +79,11 @@ class SelectionStats:
     ``infeasible_cuts``/``bound_cuts`` subtree-cut events.
     ``subproblems_memoized`` counts shared-memory subproblem cache hits and
     ``smem_solves`` the actual constraint-unification solves that ran.
+    ``swizzles_scored``/``swizzles_pruned`` aggregate, over those fresh
+    solves, how many swizzle candidates went through the conflict model and
+    how many the analytic relation predicates discarded (conflict-floor
+    early exit + touched-window restriction dedupe; see
+    ``repro.layout.relation``).
     """
 
     leaves_evaluated: int = 0
@@ -88,6 +93,8 @@ class SelectionStats:
     bound_cuts: int = 0
     subproblems_memoized: int = 0
     smem_solves: int = 0
+    swizzles_scored: int = 0
+    swizzles_pruned: int = 0
 
     @property
     def leaf_equivalents(self) -> int:
@@ -378,6 +385,8 @@ class InstructionSelector:
             self.stats.subproblems_memoized += 1
         else:
             self.stats.smem_solves += 1
+            self.stats.swizzles_scored += solution.swizzles_scored
+            self.stats.swizzles_pruned += solution.swizzles_pruned
         plan: Optional[SmemPlan] = (
             None if solution.failure is not None else solution.as_plan(tensor, accesses)
         )

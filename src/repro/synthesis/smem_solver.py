@@ -29,7 +29,13 @@ from repro.ir.ops import Copy
 from repro.ir.tensor import TileTensor
 from repro.layout.constraint import LayoutConstraint, UnificationError, unify
 from repro.layout.layout import Layout
-from repro.layout.swizzle import ComposedLayout, Swizzle, candidate_swizzles
+from repro.layout.relation import LayoutRelation
+from repro.layout.swizzle import (
+    ComposedLayout,
+    Swizzle,
+    candidate_swizzles,
+    swizzle_window_key,
+)
 from repro.layout.tv import TVLayout
 from repro.synthesis.tiling import value_vector_run
 from repro.utils.inttuple import flatten, prefix_product
@@ -47,8 +53,11 @@ __all__ = [
     "copy_access_for",
     "smem_cache_info",
     "clear_smem_cache",
+    "set_swizzle_pruning",
     "smem_solution_for",
+    "solve_subproblem",
     "subproblem_key",
+    "swizzle_pruning_enabled",
     "synthesize_smem_layout",
 ]
 
@@ -281,6 +290,18 @@ class SmemSolution:
     swizzle: Optional[Swizzle]
     conflict_factor: float
     failure: Optional[str] = None
+    # Instrumentation of the swizzle selection that produced this solution:
+    # how many candidates were actually scored through the conflict model
+    # and how many the analytic relation predicates pruned away.  Not part
+    # of the solution's *result* (see `winner`).
+    swizzles_scored: int = 0
+    swizzles_pruned: int = 0
+
+    @property
+    def winner(self) -> tuple:
+        """The result payload, excluding instrumentation counters — two
+        solves are bit-identical iff their winners are equal."""
+        return (self.base_layout, self.swizzle, self.conflict_factor, self.failure)
 
     def as_plan(self, tensor: TileTensor, accesses: Sequence[CopyAccess]) -> SmemPlan:
         if self.failure is not None:
@@ -339,6 +360,37 @@ def clear_smem_cache() -> None:
     _SOLUTION_CACHE.clear()
     _CACHE_HITS = 0
     _CACHE_MISSES = 0
+
+
+# --------------------------------------------------------------------------- #
+# Swizzle pruning toggle
+# --------------------------------------------------------------------------- #
+# When enabled (the default), _solve_subproblem consults the integer-set
+# relation view of the warp accesses (repro.layout.relation) to skip swizzle
+# candidates that provably cannot beat the incumbent: candidates whose
+# restriction to the touched address window ties an already-scored candidate,
+# and the whole remainder once the conflict floor (1.0) is reached.  The
+# pruned search returns a bit-identical winner; the unpruned path survives
+# behind this toggle for the equivalence suite and the prune-gate benchmark.
+_SWIZZLE_PRUNE = True
+
+
+def swizzle_pruning_enabled() -> bool:
+    return _SWIZZLE_PRUNE
+
+
+def set_swizzle_pruning(enabled: bool) -> bool:
+    """Enable/disable analytic swizzle pruning; returns the previous value.
+
+    Pruning never changes the solved layout/swizzle/conflict-factor — only
+    how many candidates are scored — but solutions are memoized in the
+    structural cache regardless of the toggle, so equivalence measurements
+    should call :func:`clear_smem_cache` between runs.
+    """
+    global _SWIZZLE_PRUNE
+    previous = _SWIZZLE_PRUNE
+    _SWIZZLE_PRUNE = bool(enabled)
+    return previous
 
 
 # --------------------------------------------------------------------------- #
@@ -405,11 +457,54 @@ def _remember(key: tuple, solution: SmemSolution) -> None:
     _SOLUTION_CACHE[key] = solution
 
 
+# The analytic lower bound of _total_conflicts: every phase pays at least
+# one access per bank, so the trip-weighted mean can never drop below 1.0.
+# Once the incumbent reaches it, no candidate can *strictly* improve, and
+# the `factor < best - 1e-9` update rule means the winner is unchanged.
+_CONFLICT_FLOOR = 1.0
+
+
+def _access_window_bits(base: Layout, accesses: Sequence[CopyAccess]) -> int:
+    """Bit width of the element-index window the warp accesses touch.
+
+    Built from the relation image of every access pattern: all addresses
+    the conflict model will ever evaluate lie in ``[0, 2**bits)``, so two
+    swizzles with equal restrictions to that window (equal
+    ``swizzle_window_key``) produce identical conflict factors.
+    """
+    max_index = 0
+    for access in accesses:
+        image = LayoutRelation.from_access(base, access.thread_coords).image()
+        if image:
+            max_index = max(max_index, image[-1])
+    return max_index.bit_length()
+
+
+def solve_subproblem(
+    tensor: TileTensor,
+    accesses: Sequence[CopyAccess],
+    bank_params: Optional[SmemBankParams] = None,
+    prune: Optional[bool] = None,
+) -> SmemSolution:
+    """Solve one smem subproblem, bypassing the structural cache.
+
+    ``prune`` overrides the process-wide toggle (see
+    :func:`set_swizzle_pruning`); the equivalence suite uses this to check
+    that the pruned and unpruned searches return the same ``winner``.
+    """
+    return _solve_subproblem(
+        tensor, accesses, bank_params or DEFAULT_BANK_PARAMS, prune=prune
+    )
+
+
 def _solve_subproblem(
     tensor: TileTensor,
     accesses: Sequence[CopyAccess],
     bank_params: SmemBankParams = DEFAULT_BANK_PARAMS,
+    prune: Optional[bool] = None,
 ) -> SmemSolution:
+    if prune is None:
+        prune = _SWIZZLE_PRUNE
     if not accesses:
         # An unused buffer: any compact layout works.
         return SmemSolution(Layout(tensor.shape), Swizzle(0, 0, 0), 1.0)
@@ -443,14 +538,39 @@ def _solve_subproblem(
     )
     best_swizzle = Swizzle(0, 0, 0)
     best_factor = _total_conflicts(base, best_swizzle, accesses, element_bytes, bank_params)
-    for swizzle in candidate_swizzles(
+    candidates = candidate_swizzles(
         tensor.dtype.bits, row_bytes, bank_params.phase_bytes
-    ):
+    )
+    scored = 0
+    pruned = 0
+    if prune:
+        window = _access_window_bits(base, accesses)
+        seen_keys = {swizzle_window_key(best_swizzle, window)}
+    for swizzle in candidates:
+        if prune:
+            if best_factor <= _CONFLICT_FLOOR + 1e-12:
+                # Conflict-freedom reached: no candidate can strictly win.
+                pruned = len(candidates) - scored
+                break
+            key = swizzle_window_key(swizzle, window)
+            if key in seen_keys:
+                # Restriction to the touched window ties an already-scored
+                # candidate (or the identity): it can only tie, never win.
+                pruned += 1
+                continue
+            seen_keys.add(key)
+        scored += 1
         factor = _total_conflicts(base, swizzle, accesses, element_bytes, bank_params)
         if factor < best_factor - 1e-9:
             best_factor = factor
             best_swizzle = swizzle
-    return SmemSolution(base, best_swizzle, best_factor)
+    return SmemSolution(
+        base,
+        best_swizzle,
+        best_factor,
+        swizzles_scored=scored,
+        swizzles_pruned=pruned,
+    )
 
 
 def _total_conflicts(

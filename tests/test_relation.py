@@ -1,0 +1,449 @@
+"""The integer-set relation oracle (``repro.layout.relation``).
+
+Two jobs:
+
+1. **Semantics of the relation view itself** — hand-checkable cases for
+   construction, composition, inverse, greedy complement, conversion and
+   the conflict-degree model.
+
+2. **Property-based cross-checks of the closed-form algebra** — every
+   memoized operation in ``repro.layout.algebra`` (coalesce, composition,
+   complement, right_inverse, left_inverse) and the enumerated
+   ``bank_conflict_factor`` is compared against its set-theoretic
+   definition on hundreds of seeded random layouts (see
+   ``tests/strategies.py``), plus the metamorphic algebra laws
+   (associativity, inverse-then-compose = identity, complement
+   disjointness/cover) and the analytic predicates backing the smem
+   solver's swizzle pruning (``swizzle_window_key``, injectivity).
+"""
+
+import pytest
+
+from repro.layout import (
+    ComposedLayout,
+    Layout,
+    LayoutRelation,
+    Swizzle,
+    candidate_swizzles,
+    coalesce,
+    complement,
+    composition,
+    layout_is_injective,
+    left_inverse,
+    make_layout,
+    right_inverse,
+    swizzle_window_key,
+)
+from repro.synthesis.smem_solver import SmemBankParams, bank_conflict_factor
+from repro.utils.memo import cache_stats
+
+from strategies import LayoutSampler, layout_cases
+
+# Every randomized cross-check below runs at least this many generated
+# cases (the acceptance bar of the oracle suite).
+CASES = 300
+
+
+def relation_of(layout, domain_size=None):
+    return LayoutRelation.from_layout(layout, domain_size=domain_size)
+
+
+# --------------------------------------------------------------------------- #
+# Relation semantics (hand cases)
+# --------------------------------------------------------------------------- #
+def test_from_layout_enumerates_the_graph():
+    rel = relation_of(Layout((2, 3), (3, 1)))
+    assert rel.pairs == ((0, 0), (1, 3), (2, 1), (3, 4), (4, 2), (5, 5))
+    assert rel.domain() == (0, 1, 2, 3, 4, 5)
+    assert rel.image() == (0, 1, 2, 3, 4, 5)
+    assert rel.is_function() and rel.is_injective()
+
+
+def test_identity_is_neutral_for_compose():
+    rel = relation_of(Layout((4, 2), (1, 8)))
+    n = len(rel)
+    assert rel.compose(LayoutRelation.identity(n)) == rel
+    assert LayoutRelation.identity(16).compose(rel) == rel
+
+
+def test_compose_matches_pointwise_function_composition():
+    inner = Layout(4, 2)          # i -> 2i
+    outer = Layout(8, 3)          # j -> 3j
+    composed = relation_of(outer).compose(relation_of(inner))
+    assert composed == LayoutRelation((i, 6 * i) for i in range(4))
+
+
+def test_compose_is_empty_off_the_image():
+    # outer is only defined on [0, 2); inner's larger outputs drop out.
+    inner = relation_of(Layout(4, 1))
+    outer = relation_of(Layout(2, 5))
+    assert outer.compose(inner).pairs == ((0, 0), (1, 5))
+
+
+def test_inverse_on_image_swaps_pairs():
+    rel = relation_of(Layout((2, 2), (4, 1)))
+    inv = rel.inverse_on_image()
+    assert set(inv.pairs) == {(y, x) for x, y in rel.pairs}
+    assert inv.compose(rel) == LayoutRelation.identity(4)
+
+
+def test_multivalued_relation_predicates():
+    rel = LayoutRelation([(0, 1), (0, 2), (1, 3)])
+    assert not rel.is_function()
+    assert rel.is_injective()  # no output shared between distinct inputs
+    collide = LayoutRelation([(0, 5), (1, 5)])
+    assert collide.is_function() is True and not collide.is_injective()
+
+
+def test_restrict_domain():
+    rel = relation_of(Layout(6, 2))
+    assert rel.restrict_domain([1, 3]).pairs == ((1, 2), (3, 6))
+
+
+def test_complement_in_matches_cute_example():
+    # complement(4:2, 24) = (2,3):(1,8) with image {0,1,8,9,16,17}.
+    greedy = relation_of(Layout(4, 2)).complement_in(24)
+    assert greedy.image() == (0, 1, 8, 9, 16, 17)
+    closed = complement(Layout(4, 2), 24)
+    assert tuple(sorted(set(closed.all_indices()))) == greedy.image()
+
+
+def test_complement_in_raises_on_sumset_collision():
+    rel = LayoutRelation(enumerate([0, 2, 3]))
+    with pytest.raises(ValueError, match="covered twice"):
+        rel.complement_in(6)
+
+
+def test_to_layout_roundtrip_hand_case():
+    layout = Layout((4, 8), (8, 1))
+    recovered = relation_of(layout).to_layout()
+    assert [recovered(i) for i in range(32)] == layout.all_indices()
+
+
+def test_to_layout_rejects_non_affine_offsets():
+    # [0, 1, 2, 4] cannot be written as shape:stride (the step changes
+    # mid-sequence without a mode boundary).
+    with pytest.raises(ValueError, match="do not factor"):
+        LayoutRelation(enumerate([0, 1, 2, 4])).to_layout()
+    # ...whereas [0, 1, 3, 4] can: it is exactly (2,2):(1,3).
+    recovered = LayoutRelation(enumerate([0, 1, 3, 4])).to_layout()
+    assert [recovered(i) for i in range(4)] == [0, 1, 3, 4]
+
+
+def test_to_layout_rejects_multivalued_or_sparse_domains():
+    with pytest.raises(ValueError, match="single-valued"):
+        LayoutRelation([(0, 0), (0, 1), (1, 2), (2, 3)]).to_layout()
+    with pytest.raises(ValueError, match="compact"):
+        LayoutRelation([(0, 0), (2, 1)]).to_layout()
+
+
+def test_from_access_builds_slot_indexed_pairs():
+    layout = Layout((4, 4), (1, 4))
+    coords = [(1, 0), (1, 0), (0, 2)]
+    rel = LayoutRelation.from_access(layout, coords)
+    assert rel.pairs == ((0, 1), (1, 1), (2, 8))
+
+
+def test_bank_conflict_degree_hand_cases():
+    # 32 threads on 32 consecutive fp32 words: one access per bank.
+    spread = LayoutRelation.identity(32)
+    assert spread.bank_conflict_degree(32, 4, 32) == 1.0
+    # 32 threads on one column of a 32-wide fp32 row-major tile: every
+    # access hits bank 0 in a different 128 B line -> 32-way conflict.
+    column = LayoutRelation(enumerate(32 * t for t in range(32)))
+    assert column.bank_conflict_degree(32, 4, 32, access_bytes=4) == 32.0
+    # Full broadcast: one address, one bank, one line.
+    broadcast = LayoutRelation((t, 0) for t in range(32))
+    assert broadcast.bank_conflict_degree(32, 4, 32) == 1.0
+    # Unbanked scratchpad never conflicts.
+    assert column.bank_conflict_degree(1, 128, 32) == 1.0
+
+
+def test_relation_dunder_plumbing():
+    rel = relation_of(Layout(3, 2))
+    assert len(rel) == 3 and (1, 2) in rel and list(rel) == [(0, 0), (1, 2), (2, 4)]
+    assert rel == LayoutRelation([(2, 4), (0, 0), (1, 2)])  # order-insensitive
+    assert hash(rel) == hash(LayoutRelation(rel.pairs))
+    assert "LayoutRelation" in repr(rel)
+    with pytest.raises(ValueError, match="non-negative"):
+        LayoutRelation([(-1, 0)])
+
+
+# --------------------------------------------------------------------------- #
+# Randomized oracle: coalesce
+# --------------------------------------------------------------------------- #
+def test_coalesce_oracle_preserves_the_relation():
+    for layout in layout_cases(seed=101, count=CASES + 20):
+        flattened = coalesce(layout)
+        assert relation_of(flattened) == relation_of(layout), layout
+        assert flattened.size() == layout.size()
+
+
+def test_coalesce_is_idempotent():
+    for layout in layout_cases(seed=102, count=CASES):
+        once = coalesce(layout)
+        assert coalesce(once) == once, layout
+
+
+def test_to_layout_roundtrips_random_compact_layouts():
+    checked = 0
+    for layout in layout_cases(seed=103, count=CASES + 50, style="permuted"):
+        rel = relation_of(layout)
+        recovered = rel.to_layout()
+        assert relation_of(recovered) == rel, layout
+        checked += 1
+    assert checked >= CASES
+
+
+# --------------------------------------------------------------------------- #
+# Randomized oracle: composition
+# --------------------------------------------------------------------------- #
+def test_composition_oracle_matches_relational_composition():
+    sampler = LayoutSampler(seed=201)
+    for _ in range(CASES + 20):
+        outer = sampler.pow2_layout()
+        inner = sampler.pow2_tiler(outer.size())
+        composed = composition(outer, inner)
+        domain = max(outer.size(), inner.cosize())
+        oracle = relation_of(outer, domain_size=domain).compose(
+            relation_of(inner))
+        assert relation_of(composed) == oracle, (outer, inner)
+
+
+def test_composition_is_associative():
+    sampler = LayoutSampler(seed=202)
+    for _ in range(CASES + 20):
+        a = sampler.pow2_layout()
+        b = sampler.pow2_tiler(a.size())
+        c = sampler.pow2_tiler(b.size())
+        left = composition(composition(a, b), c)
+        right = composition(a, composition(b, c))
+        assert relation_of(left) == relation_of(right), (a, b, c)
+
+
+# --------------------------------------------------------------------------- #
+# Randomized oracle: complement
+# --------------------------------------------------------------------------- #
+def test_complement_oracle_matches_greedy_cover():
+    sampler = LayoutSampler(seed=301)
+    for _ in range(CASES + 20):
+        layout, cover = sampler.complementable_layout()
+        closed = complement(layout, cover)
+        greedy = relation_of(layout).complement_in(cover)
+        assert tuple(sorted(set(closed.all_indices()))) == greedy.image(), (
+            layout, cover)
+
+
+def test_complement_disjointness_and_cover_law():
+    sampler = LayoutSampler(seed=302)
+    for _ in range(CASES + 20):
+        layout, cover = sampler.complementable_layout()
+        rest = complement(layout, cover)
+        combined = relation_of(make_layout(layout, rest))
+        # (layout, complement) tiles [0, cover): injective and onto.
+        assert combined.is_injective(), (layout, cover)
+        assert combined.image() == tuple(range(cover)), (layout, cover)
+
+
+# --------------------------------------------------------------------------- #
+# Randomized oracle: inverses
+# --------------------------------------------------------------------------- #
+def test_right_inverse_oracle_identity_on_image():
+    checked = 0
+    for layout in layout_cases(seed=401, count=CASES + 60):
+        inverse = right_inverse(layout)
+        if inverse.size() == 0:
+            continue
+        domain = max(layout.size(), inverse.cosize())
+        composed = relation_of(layout, domain_size=domain).compose(
+            relation_of(inverse))
+        assert composed == LayoutRelation.identity(inverse.size()), (
+            layout, inverse)
+        checked += 1
+    assert checked >= CASES
+
+
+def test_right_inverse_of_compact_layouts_is_a_full_inverse():
+    for layout in layout_cases(seed=402, count=CASES, style="permuted"):
+        inverse = right_inverse(layout)
+        assert inverse.size() == layout.size(), layout
+        # Both directions are identities for a bijection.
+        forward = relation_of(layout).compose(relation_of(inverse))
+        backward = relation_of(inverse, domain_size=layout.size()).compose(
+            relation_of(layout))
+        assert forward == LayoutRelation.identity(layout.size())
+        assert backward == LayoutRelation.identity(layout.size())
+
+
+def test_left_inverse_oracle_identity_on_domain():
+    sampler = LayoutSampler(seed=403)
+    for _ in range(CASES + 20):
+        layout, _cover = sampler.complementable_layout()
+        inverse = left_inverse(layout)
+        domain = max(layout.cosize(), inverse.size())
+        composed = relation_of(inverse, domain_size=domain).compose(
+            relation_of(layout))
+        assert composed == LayoutRelation.identity(layout.size()), (
+            layout, inverse)
+
+
+# --------------------------------------------------------------------------- #
+# Randomized oracle: injectivity
+# --------------------------------------------------------------------------- #
+def test_is_injective_equivalence():
+    """Layout.is_injective (analytic + memoized) ≡ the relation predicate
+    ≡ brute force, across every generator style including zero strides."""
+    for layout in layout_cases(seed=501, count=CASES + 100):
+        image = layout.all_indices()
+        brute = len(set(image)) == len(image)
+        assert layout.is_injective() == brute, layout
+        assert layout_is_injective(layout) == brute, layout
+        assert relation_of(layout).is_injective() == brute, layout
+
+
+def test_analytic_fast_path_is_not_trusted_beyond_its_reach():
+    # (3,2):(2,3) fails the sorted-stride sufficient condition (3 <= 2+2)
+    # yet is injective — the exact fallback must catch it.
+    assert Layout((3, 2), (2, 3)).is_injective()
+    # And genuine collisions behind interleaved strides are still found.
+    assert not Layout((4, 8), (1, 1)).is_injective()
+    assert not Layout((2, 2), (3, 3)).is_injective()
+
+
+def test_swizzled_injectivity_matches_base():
+    sampler = LayoutSampler(seed=502)
+    for _ in range(CASES):
+        base = sampler.layout()
+        swizzled = ComposedLayout(sampler.swizzle(), base)
+        expected = base.is_injective()
+        assert swizzled.is_injective() == expected, swizzled
+        image = swizzled.all_indices()
+        assert (len(set(image)) == len(image)) == expected, swizzled
+
+
+def test_layout_is_injective_is_memoized():
+    layout = Layout((7, 3), (3, 1))
+    layout.is_injective()
+    stats = cache_stats()
+    name = "repro.layout.relation.layout_is_injective"
+    assert name in stats
+    before = stats[name].hits
+    Layout((7, 3), (3, 1)).is_injective()  # equal layout, distinct object
+    assert cache_stats()[name].hits == before + 1
+
+
+# --------------------------------------------------------------------------- #
+# Randomized oracle: bank conflicts
+# --------------------------------------------------------------------------- #
+BANKINGS = (SmemBankParams(32, 4), SmemBankParams(64, 4), SmemBankParams(1, 128))
+
+
+def test_bank_conflict_degree_matches_enumerated_factor():
+    sampler = LayoutSampler(seed=601)
+    checked = 0
+    while checked < CASES + 20:
+        base = sampler.layout(style=sampler.rng.choice(("permuted", "strided")))
+        if not isinstance(base.shape, tuple):
+            continue  # multi-coordinate accesses need a tuple-shaped tile
+        layout = ComposedLayout(sampler.swizzle(), base)
+        coords = sampler.coords(base, count=32)
+        element_bits = sampler.rng.choice((8, 16, 32))
+        access_bytes = sampler.rng.choice((4, 8, 16))
+        params = sampler.rng.choice(BANKINGS)
+        expected = bank_conflict_factor(
+            layout, coords, element_bits / 8, access_bytes, params)
+        degree = LayoutRelation.from_access(layout, coords).bank_conflict_degree(
+            params.banks, params.bank_bytes, element_bits, access_bytes)
+        assert degree == pytest.approx(expected, abs=1e-12), (
+            base, layout.swizzle, params)
+        checked += 1
+
+
+def test_bank_conflict_degree_defaults_access_to_element_width():
+    rel = LayoutRelation(enumerate(32 * t for t in range(32)))
+    assert rel.bank_conflict_degree(32, 4, 32) == rel.bank_conflict_degree(
+        32, 4, 32, access_bytes=4)
+
+
+# --------------------------------------------------------------------------- #
+# Divisibility error messages (regression: failures must name the layouts)
+# --------------------------------------------------------------------------- #
+def test_composition_divisibility_error_names_both_layouts():
+    # (6,2):(2,16) does not coalesce, and its leading extent 6 is
+    # indivisible by the tiler stride 4.
+    a = Layout((6, 2), (2, 16))
+    b = Layout(4, 4)
+    with pytest.raises(ValueError) as err:
+        composition(a, b)
+    message = str(err.value)
+    assert "composition" in message
+    assert "(6,2):(2,16)" in message and "4:4" in message
+
+
+def test_complement_error_names_layout_and_cosize():
+    layout = Layout((2, 3), (2, 3))
+    with pytest.raises(ValueError) as err:
+        complement(layout, 24)
+    message = str(err.value)
+    assert "(2,3):(2,3)" in message and "24" in message
+
+
+def test_algebra_errors_are_not_cached():
+    # Exceptions are recomputed (lru_cache never stores them): the same
+    # call must raise the same error twice in a row.
+    for _ in range(2):
+        with pytest.raises(ValueError, match="not divisible by layout"):
+            composition(Layout((6, 2), (2, 16)), Layout(4, 4))
+        with pytest.raises(ValueError, match="not complementable"):
+            complement(Layout((2, 3), (2, 3)), 24)
+
+
+# --------------------------------------------------------------------------- #
+# The analytic swizzle-prune predicates
+# --------------------------------------------------------------------------- #
+def test_swizzle_window_key_identity_cases():
+    assert swizzle_window_key(Swizzle(0, 0, 0), 12) == ()
+    # Source bits live entirely above the window: restriction is identity.
+    assert swizzle_window_key(Swizzle(2, 3, 4), 7) == ()
+    # Window truncates the live source bits.
+    assert swizzle_window_key(Swizzle(3, 3, 4), 9) == (3, 4, 2)
+    assert swizzle_window_key(Swizzle(2, 3, 4), 9) == (3, 4, 2)
+    # Fully inside the window: full key.
+    assert swizzle_window_key(Swizzle(2, 3, 4), 20) == (3, 4, 2)
+
+
+def test_swizzle_window_key_soundness():
+    """Equal window keys imply pointwise-equal restrictions — the fact the
+    smem solver's dedupe prune rests on."""
+    sampler = LayoutSampler(seed=701)
+    checked = 0
+    while checked < CASES:
+        s1, s2 = sampler.swizzle(), sampler.swizzle()
+        window = sampler.rng.randint(0, 12)
+        k1 = swizzle_window_key(s1, window)
+        k2 = swizzle_window_key(s2, window)
+        if k1 == ():
+            assert all(s1(x) == x for x in range(1 << window)), (s1, window)
+        if k1 == k2:
+            assert all(
+                s1(x) == s2(x) for x in range(1 << window)
+            ), (s1, s2, window)
+            checked += 1
+
+
+def test_candidate_swizzles_window_pruning():
+    full = candidate_swizzles(16, 16, 256)
+    assert len(full) > 2
+    for window in (0, 4, 8, 10, 14):
+        pruned = candidate_swizzles(16, 16, 256, window_bits=window)
+        assert pruned[0] == Swizzle(0, 0, 0)
+        assert set(pruned) <= set(full)
+        keys = [swizzle_window_key(sw, window) for sw in pruned]
+        assert len(set(keys)) == len(keys), (window, pruned)
+        # Completeness: every dropped candidate's restriction is already
+        # represented by a survivor, so pruning loses no behavior.
+        surviving = set(keys)
+        for sw in full:
+            assert swizzle_window_key(sw, window) in surviving, (sw, window)
+    # A zero-width window collapses everything onto the identity.
+    assert candidate_swizzles(16, 16, 256, window_bits=0) == [Swizzle(0, 0, 0)]

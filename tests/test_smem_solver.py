@@ -7,10 +7,15 @@ from repro.instructions import instruction_set
 from repro.ir import types
 from repro.layout import Layout
 from repro.synthesis import (
+    SmemBankParams,
     SmemSynthesisError,
     ThreadValueSolver,
     bank_conflict_factor,
+    clear_smem_cache,
     copy_access_for,
+    set_swizzle_pruning,
+    solve_subproblem,
+    swizzle_pruning_enabled,
     synthesize_smem_layout,
 )
 
@@ -95,3 +100,68 @@ def test_plan_apply_installs_layout():
     plan.apply()
     assert smem.layout is plan.base_layout
     assert smem.swizzled_layout is not None
+
+
+# --------------------------------------------------------------------------- #
+# Analytic swizzle pruning (relation-based): equivalence and instrumentation
+# --------------------------------------------------------------------------- #
+def _solve_both_ways(smem, accesses, bank_params=None):
+    """The same subproblem with pruning off and on, bypassing the cache."""
+    off = solve_subproblem(smem, accesses, bank_params=bank_params, prune=False)
+    on = solve_subproblem(smem, accesses, bank_params=bank_params, prune=True)
+    return off, on
+
+
+@pytest.mark.parametrize("shape", [(64, 64), (32, 32), (128, 32)])
+@pytest.mark.parametrize(
+    "bank_params", [SmemBankParams(32, 4), SmemBankParams(64, 4)])
+def test_pruned_search_returns_bit_identical_winner(shape, bank_params):
+    row = Layout(shape, (shape[1], 1))
+    program, smem = _staged_copy_program(row, row, shape=shape)
+    off, on = _solve_both_ways(smem, _accesses(program, smem), bank_params)
+    # Same base layout, swizzle, conflict factor and failure state...
+    assert on.winner == off.winner
+    # ...while scoring strictly fewer candidates (the identity candidate
+    # alone is always window-deduped against the baseline evaluation).
+    assert 0 < on.swizzles_scored < off.swizzles_scored
+    assert on.swizzles_pruned > 0
+    assert off.swizzles_pruned == 0
+
+
+def test_conflict_free_search_skips_every_candidate():
+    # An unbanked scratchpad (banks=1) can never conflict, so the baseline
+    # already sits on the analytic floor and the pruner scores nothing.
+    row = Layout((64, 64), (64, 1))
+    program, smem = _staged_copy_program(row, row)
+    off, on = _solve_both_ways(
+        smem, _accesses(program, smem), SmemBankParams(1, 128))
+    assert on.winner == off.winner
+    assert on.conflict_factor == 1.0
+    assert on.swizzles_scored == 0
+    assert on.swizzles_pruned > 0
+    assert on.swizzle.is_identity()
+
+
+def test_pruning_toggle_round_trips():
+    previous = set_swizzle_pruning(False)
+    try:
+        assert swizzle_pruning_enabled() is False
+        assert set_swizzle_pruning(True) is False
+        assert swizzle_pruning_enabled() is True
+    finally:
+        set_swizzle_pruning(previous)
+
+
+def test_prune_counters_reach_selection_stats_and_pass_stats():
+    from repro.compiler import compile_kernel
+    from repro.kernels.gemm import GemmConfig, build_fp16_gemm
+
+    program = build_fp16_gemm(64, 64, 64, GemmConfig(bm=64, bn=64, bk=32))
+    clear_smem_cache()
+    kernel = compile_kernel(program, arch="a100", max_candidates=8,
+                            use_cache=False)
+    stats = kernel.pass_stats
+    scored = stats["instruction-selection.swizzles_scored"]
+    pruned = stats["instruction-selection.swizzles_pruned"]
+    assert scored > 0
+    assert pruned > 0
